@@ -1,0 +1,73 @@
+// SPDX-License-Identifier: MIT
+//
+// Shared plumbing for the experiment binaries (bench/exp_*): flag-driven
+// trial counts, the standard experiment banner, and unconsumed-flag
+// warnings. Every binary prints one or more paper-claim tables and accepts
+//   --scale small|medium|large   (or $COBRA_SCALE)
+//   --trials N                   (override trial count)
+//   --seed S                     (Monte Carlo base seed)
+//   --csv                        (append CSV dumps of each table)
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "sim/trial_runner.hpp"
+#include "util/flags.hpp"
+#include "util/scale.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace cobra::bench {
+
+struct ExperimentEnv {
+  Flags flags;
+  Scale scale;
+  std::uint64_t seed;
+  bool csv;
+
+  ExperimentEnv(int argc, char** argv)
+      : flags(argc, argv),
+        scale(Scale::from_flags(flags)),
+        seed(static_cast<std::uint64_t>(flags.get_int("seed", 20260612))),
+        csv(flags.has("csv")) {}
+
+  /// Trial options with the scale-dependent default (overridable --trials).
+  TrialOptions trials(std::size_t small, std::size_t medium,
+                      std::size_t large) const {
+    TrialOptions options;
+    options.trials = static_cast<std::size_t>(flags.get_int(
+        "trials",
+        static_cast<std::int64_t>(scale.pick(small, medium, large))));
+    options.base_seed = seed;
+    return options;
+  }
+
+  void banner(const std::string& id, const std::string& title,
+              const std::string& claim) const {
+    std::printf("==============================================================\n");
+    std::printf("%s: %s   [scale=%s]\n", id.c_str(), title.c_str(),
+                scale.name().c_str());
+    std::printf("paper claim: %s\n", claim.c_str());
+    std::printf("==============================================================\n");
+  }
+
+  void emit(const Table& table) const {
+    table.print(std::cout);
+    if (csv) {
+      std::printf("-- csv --\n");
+      table.print_csv(std::cout);
+    }
+  }
+
+  /// Call at the end of main; warns about mistyped flags.
+  void finish(const Stopwatch& watch) const {
+    for (const auto& name : flags.unconsumed()) {
+      std::fprintf(stderr, "warning: unrecognized flag --%s\n", name.c_str());
+    }
+    std::printf("[elapsed %.1fs]\n\n", watch.seconds());
+  }
+};
+
+}  // namespace cobra::bench

@@ -1,0 +1,66 @@
+// SPDX-License-Identifier: MIT
+//
+// E10 — prior-work anchor (Dutta et al., intro item (iii)): on the
+// d-dimensional grid/torus, COBRA's cover time is ~O(n^{1/d}) (up to
+// polylog factors). We sweep odd-sided tori in d = 2 and d = 3 and fit the
+// log-log exponent; it should land near 1/d (slightly above, absorbing
+// the polylog).
+#include <cmath>
+#include <vector>
+
+#include "exp_common.hpp"
+#include "graph/generators.hpp"
+#include "sim/sweep.hpp"
+#include "stats/regression.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cobra;
+  bench::ExperimentEnv env(argc, argv);
+  Stopwatch watch;
+  env.banner("E10", "COBRA cover time on d-dimensional tori",
+             "cover ~ n^(1/d) up to polylog   [intro (iii), Dutta et al.]");
+
+  const auto trials = env.trials(10, 30, 60);
+
+  const auto run_dimension = [&](std::size_t d,
+                                 const std::vector<std::size_t>& sides) {
+    Table table({"side", "n", "rounds mean", "p90", "mean/n^(1/d)"});
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (const std::size_t side : sides) {
+      std::vector<std::size_t> dims(d, side);
+      const Graph g = gen::torus(dims);
+      CobraOptions options;
+      options.max_rounds = 1u << 22;
+      const auto m = measure_cobra(g, options, trials);
+      const auto n = static_cast<double>(g.num_vertices());
+      table.add_row({Table::cell(static_cast<std::uint64_t>(side)),
+                     Table::cell(static_cast<std::uint64_t>(g.num_vertices())),
+                     Table::cell(m.rounds.mean, 1), Table::cell(m.rounds.p90, 1),
+                     Table::cell(m.rounds.mean /
+                                     std::pow(n, 1.0 / static_cast<double>(d)),
+                                 3)});
+      xs.push_back(n);
+      ys.push_back(m.rounds.mean);
+    }
+    std::printf("\n-- d = %zu --\n", d);
+    env.emit(table);
+    const auto fit = fit_loglog(xs, ys);
+    std::printf("log-log fit: rounds ~ n^%.3f (R^2 = %.4f); theory: 1/d = %.3f\n",
+                fit.slope, fit.r2, 1.0 / static_cast<double>(d));
+  };
+
+  run_dimension(2, env.scale.level == ScaleLevel::kSmall
+                       ? std::vector<std::size_t>{9, 17, 33, 65}
+                       : std::vector<std::size_t>{9, 17, 33, 65, 129, 257});
+  run_dimension(3, env.scale.level == ScaleLevel::kSmall
+                       ? std::vector<std::size_t>{5, 7, 9, 13}
+                       : std::vector<std::size_t>{5, 7, 9, 13, 21, 31});
+
+  std::printf(
+      "\nshape check: fitted exponents near 1/2 and 1/3 — polynomial, not\n"
+      "logarithmic: tori are NOT expanders (gap -> 0), so Theorem 1 does\n"
+      "not apply and COBRA slows to near the diameter bound.\n");
+  env.finish(watch);
+  return 0;
+}

@@ -1,0 +1,93 @@
+// SPDX-License-Identifier: MIT
+//
+// E7 — Lemma 1: one-step expected growth of the BIPS infected set,
+//   E(|A_{t+1}| | A_t = A) >= |A| (1 + (1-lambda^2)(1 - |A|/n)).
+// Run many BIPS trajectories, bucket transitions by |A_t|/n, and compare
+// the measured mean growth ratio against the bound evaluated at the
+// bucket's mean occupancy. Every bucket must sit at or above the bound
+// (within Monte Carlo error).
+#include <cmath>
+#include <vector>
+
+#include "exp_common.hpp"
+#include "core/bips.hpp"
+#include "graph/generators.hpp"
+#include "spectral/gap.hpp"
+#include "stats/online.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cobra;
+  bench::ExperimentEnv env(argc, argv);
+  Stopwatch watch;
+  env.banner("E7", "BIPS one-step growth vs the Lemma 1 lower bound",
+             "E(|A_{t+1}| | A_t) >= |A_t|(1 + (1-lambda^2)(1-|A_t|/n)) [Lemma 1]");
+
+  struct Instance {
+    Graph graph;
+  };
+  Rng graph_rng(env.seed);
+  const std::size_t n = static_cast<std::size_t>(
+      env.flags.get_int("n", env.scale.pick(1024, 4096, 16384)));
+  std::vector<Graph> graphs;
+  graphs.push_back(gen::connected_random_regular(n, 8, graph_rng));
+  graphs.push_back(gen::complete(env.scale.pick<std::size_t>(256, 512, 1024)));
+  graphs.push_back(gen::torus({33, 33}));
+
+  const std::size_t runs = env.trials(200, 500, 1000).trials;
+  constexpr std::size_t kBuckets = 10;
+
+  for (const Graph& g : graphs) {
+    const auto spectrum = spectral::spectral_report(g);
+    const double lambda2 = spectrum.lambda * spectrum.lambda;
+    const std::size_t nn = g.num_vertices();
+
+    // ratio_stats[b] collects |A_{t+1}|/|A_t| for |A_t|/n in bucket b;
+    // occupancy[b] collects |A_t|/n within the bucket.
+    std::vector<OnlineStats> ratio_stats(kBuckets);
+    std::vector<OnlineStats> occupancy(kBuckets);
+    BipsOptions options;
+    options.record_curve = false;
+    for (std::size_t run = 0; run < runs; ++run) {
+      Rng rng = Rng::for_trial(env.seed, run);
+      BipsProcess process(g, static_cast<Vertex>(run % nn), options);
+      std::size_t prev = process.infected_count();
+      for (int t = 0; t < 200 && !process.fully_infected(); ++t) {
+        const std::size_t now = process.step(rng);
+        const double frac =
+            static_cast<double>(prev) / static_cast<double>(nn);
+        const auto bucket = std::min<std::size_t>(
+            kBuckets - 1, static_cast<std::size_t>(frac * kBuckets));
+        ratio_stats[bucket].add(static_cast<double>(now) /
+                                static_cast<double>(prev));
+        occupancy[bucket].add(frac);
+        prev = now;
+      }
+    }
+
+    Table table({"|A|/n bucket", "samples", "measured E ratio",
+                 "Lemma 1 bound", "slack (meas - bound)"});
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      if (ratio_stats[b].count() < 30) continue;
+      const double frac = occupancy[b].mean();
+      const double bound = 1.0 + (1.0 - lambda2) * (1.0 - frac);
+      const double measured = ratio_stats[b].mean();
+      char label[32];
+      std::snprintf(label, sizeof label, "[%.1f, %.1f)",
+                    static_cast<double>(b) / kBuckets,
+                    static_cast<double>(b + 1) / kBuckets);
+      table.add_row({label,
+                     Table::cell(static_cast<std::uint64_t>(ratio_stats[b].count())),
+                     Table::cell(measured, 4), Table::cell(bound, 4),
+                     Table::cell(measured - bound, 4)});
+    }
+    std::printf("\n-- %s (lambda = %.4f) --\n", g.name().c_str(),
+                spectrum.lambda);
+    env.emit(table);
+  }
+  std::printf(
+      "\nshape check: slack column >= 0 (up to sampling error in sparse\n"
+      "buckets) on every graph — the bound is a valid floor, tightest on\n"
+      "slow-mixing instances (torus), loosest on K_n.\n");
+  env.finish(watch);
+  return 0;
+}

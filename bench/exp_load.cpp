@@ -1,0 +1,62 @@
+// SPDX-License-Identifier: MIT
+//
+// E17 — load balance: cumulative per-vertex transmission load of a COBRA
+// cover. The protocol bounds per-round sends at k by construction; here we
+// check the cumulative load is also balanced — no hot vertex is activated
+// in a large fraction of the rounds.
+#include <cmath>
+#include <vector>
+
+#include "exp_common.hpp"
+#include "core/load.hpp"
+#include "graph/generators.hpp"
+#include "stats/summary.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cobra;
+  bench::ExperimentEnv env(argc, argv);
+  Stopwatch watch;
+  env.banner("E17", "per-vertex activation load over a COBRA cover",
+             "sends per vertex per round <= k by construction; cumulative "
+             "load stays balanced");
+
+  const auto trials = env.trials(20, 50, 100);
+  Rng graph_rng(env.seed);
+  std::vector<std::size_t> sizes{512, 2048};
+  if (env.scale.level != ScaleLevel::kSmall) sizes.push_back(8192);
+
+  Table table({"n", "rounds mean", "mean load", "max load mean",
+               "max/rounds", "reactivated frac"});
+  for (const std::size_t n : sizes) {
+    const Graph g = gen::connected_random_regular(n, 8, graph_rng);
+    std::vector<double> rounds;
+    std::vector<double> mean_load;
+    std::vector<double> max_load;
+    std::vector<double> reactivated;
+    for (std::size_t i = 0; i < trials.trials; ++i) {
+      Rng rng = Rng::for_trial(env.seed, i);
+      const auto report =
+          run_cobra_with_load(g, static_cast<Vertex>(i % n), {}, rng);
+      if (!report.covered) continue;
+      rounds.push_back(static_cast<double>(report.rounds));
+      mean_load.push_back(report.mean_activations);
+      max_load.push_back(static_cast<double>(report.max_activations));
+      reactivated.push_back(report.reactivated_fraction);
+    }
+    const auto round_summary = summarize(rounds);
+    const auto max_summary = summarize(max_load);
+    table.add_row({Table::cell(static_cast<std::uint64_t>(n)),
+                   Table::cell(round_summary.mean, 1),
+                   Table::cell(summarize(mean_load).mean, 2),
+                   Table::cell(max_summary.mean, 2),
+                   Table::cell(max_summary.mean / round_summary.mean, 3),
+                   Table::cell(summarize(reactivated).mean, 3)});
+  }
+  env.emit(table);
+  std::printf(
+      "\nshape check: mean load is O(1)-ish (total messages ~ 2 * sum |C_t|\n"
+      "spread over n vertices) and even the busiest vertex is active in\n"
+      "only a fraction of the rounds — no hotspot emerges.\n");
+  env.finish(watch);
+  return 0;
+}

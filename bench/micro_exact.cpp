@@ -1,0 +1,49 @@
+// SPDX-License-Identifier: MIT
+//
+// M1d — microbenchmarks for the exact engines: subset-DP duality
+// evaluation, the exact cover-time DP, and dense hitting-time solves.
+#include <benchmark/benchmark.h>
+
+#include "core/exact.hpp"
+#include "graph/generators.hpp"
+#include "spectral/hitting.hpp"
+
+namespace {
+
+void BM_ExactBipsDistribution(benchmark::State& state) {
+  const auto g = cobra::gen::petersen();
+  const auto t = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cobra::exact::bips_distribution(g, 0, t, 2));
+  }
+}
+BENCHMARK(BM_ExactBipsDistribution)->Arg(2)->Arg(6)->Unit(benchmark::kMillisecond);
+
+void BM_ExactCobraStep(benchmark::State& state) {
+  const auto g = cobra::gen::petersen();
+  const auto mask = static_cast<cobra::exact::Mask>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cobra::exact::cobra_step_distribution(g, mask, 2));
+  }
+}
+BENCHMARK(BM_ExactCobraStep)->Arg(0b1)->Arg(0b1111111111);
+
+void BM_ExactCoverDp(benchmark::State& state) {
+  const auto g = cobra::gen::cycle(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cobra::exact::cobra_expected_cover_time(g, 0, 2));
+  }
+}
+BENCHMARK(BM_ExactCoverDp)->Arg(5)->Arg(7)->Arg(9)->Unit(benchmark::kMillisecond);
+
+void BM_HittingTimesSolve(benchmark::State& state) {
+  cobra::Rng rng(1);
+  const auto g = cobra::gen::connected_random_regular(
+      static_cast<std::size_t>(state.range(0)), 8, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cobra::spectral::expected_hitting_times(g, 0));
+  }
+}
+BENCHMARK(BM_HittingTimesSolve)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+}  // namespace

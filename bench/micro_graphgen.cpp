@@ -1,0 +1,61 @@
+// SPDX-License-Identifier: MIT
+//
+// M1a — substrate microbenchmarks: graph generator throughput.
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.hpp"
+#include "rand/rng.hpp"
+
+namespace {
+
+void BM_Complete(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cobra::gen::complete(n));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * (n - 1) / 2));
+}
+BENCHMARK(BM_Complete)->Arg(128)->Arg(512);
+
+void BM_RandomRegular(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto r = static_cast<std::size_t>(state.range(1));
+  cobra::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cobra::gen::random_regular(n, r, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * r / 2));
+}
+BENCHMARK(BM_RandomRegular)
+    ->Args({1024, 4})
+    ->Args({1024, 16})
+    ->Args({16384, 8});
+
+void BM_Torus2D(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cobra::gen::torus({side, side}));
+  }
+}
+BENCHMARK(BM_Torus2D)->Arg(33)->Arg(129);
+
+void BM_ErdosRenyi(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  cobra::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cobra::gen::erdos_renyi(n, 8.0 / n, rng));
+  }
+}
+BENCHMARK(BM_ErdosRenyi)->Arg(4096)->Arg(32768);
+
+void BM_Hypercube(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cobra::gen::hypercube(d));
+  }
+}
+BENCHMARK(BM_Hypercube)->Arg(10)->Arg(14);
+
+}  // namespace

@@ -1,0 +1,69 @@
+// SPDX-License-Identifier: MIT
+//
+// M1c — substrate microbenchmarks: process-engine round throughput.
+#include <benchmark/benchmark.h>
+
+#include "core/bips.hpp"
+#include "core/cobra.hpp"
+#include "graph/generators.hpp"
+#include "protocols/push.hpp"
+#include "protocols/random_walk.hpp"
+
+namespace {
+
+void BM_CobraCover(benchmark::State& state) {
+  cobra::Rng graph_rng(1);
+  const auto g = cobra::gen::connected_random_regular(
+      static_cast<std::size_t>(state.range(0)), 8, graph_rng);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    cobra::Rng rng(seed++);
+    cobra::CobraOptions options;
+    options.record_curves = false;
+    benchmark::DoNotOptimize(cobra::run_cobra_cover(g, 0, options, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_CobraCover)->Arg(1024)->Arg(16384)->Unit(benchmark::kMicrosecond);
+
+void BM_BipsRound(benchmark::State& state) {
+  cobra::Rng graph_rng(2);
+  const auto g = cobra::gen::connected_random_regular(
+      static_cast<std::size_t>(state.range(0)), 8, graph_rng);
+  cobra::Rng rng(3);
+  cobra::BipsOptions options;
+  options.record_curve = false;
+  cobra::BipsProcess process(g, 0, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(process.step(rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_BipsRound)->Arg(1024)->Arg(65536);
+
+void BM_RandomWalkStep(benchmark::State& state) {
+  cobra::Rng graph_rng(4);
+  const auto g = cobra::gen::connected_random_regular(65536, 8, graph_rng);
+  cobra::Rng rng(5);
+  cobra::RandomWalk walk(g, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(walk.step(rng));
+  }
+}
+BENCHMARK(BM_RandomWalkStep);
+
+void BM_PushBroadcast(benchmark::State& state) {
+  cobra::Rng graph_rng(6);
+  const auto g = cobra::gen::connected_random_regular(
+      static_cast<std::size_t>(state.range(0)), 8, graph_rng);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    cobra::Rng rng(seed++);
+    benchmark::DoNotOptimize(cobra::run_push(g, 0, {}, rng));
+  }
+}
+BENCHMARK(BM_PushBroadcast)->Arg(4096)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -1,0 +1,55 @@
+// SPDX-License-Identifier: MIT
+//
+// Frontier anatomy: the round-by-round life of one COBRA cover, showing
+// the three regimes the paper's lemmas formalize —
+//   (1) near-doubling growth while the frontier is small (Lemma 2),
+//   (2) collision-limited expansion through the middle (Lemma 3),
+//   (3) the endgame sweep of the last stragglers (Lemma 4).
+//
+//   ./frontier_anatomy [--n 4096] [--r 8] [--k 2] [--seed 3]
+#include <cstdio>
+#include <iostream>
+
+#include "core/frontier_stats.hpp"
+#include "graph/generators.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cobra;
+  const Flags flags(argc, argv);
+  const auto n = static_cast<std::size_t>(flags.get_int("n", 4096));
+  const auto r = static_cast<std::size_t>(flags.get_int("r", 8));
+  const auto k = static_cast<unsigned>(flags.get_int("k", 2));
+  Rng graph_rng(static_cast<std::uint64_t>(flags.get_int("seed", 3)));
+  const Graph g = gen::connected_random_regular(n, r, graph_rng);
+
+  Rng rng(42);
+  CobraOptions options;
+  options.branching = Branching::fixed(k);
+  const auto trace = trace_cobra(g, 0, options, rng);
+  std::printf("%s, k=%u: covered in %zu rounds\n\n", g.name().c_str(), k,
+              trace.rounds);
+
+  Table table({"t", "|C_t|", "pushes", "|C_t+1|", "eff branch",
+               "coalesce loss", "new visits", "visited"});
+  for (const auto& row : trace.per_round) {
+    table.add_row({Table::cell(static_cast<std::uint64_t>(row.round)),
+                   Table::cell(static_cast<std::uint64_t>(row.frontier_size)),
+                   Table::cell(static_cast<std::uint64_t>(row.pushes)),
+                   Table::cell(static_cast<std::uint64_t>(row.next_frontier_size)),
+                   Table::cell(row.effective_branching, 2),
+                   Table::cell(row.coalescing_loss, 3),
+                   Table::cell(static_cast<std::uint64_t>(row.new_visits)),
+                   Table::cell(static_cast<std::uint64_t>(row.visited_total))});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nRead the 'eff branch' column: ~2.0 while |C_t| << n (regime 1),\n"
+      "then collisions push it toward 1 as |C_t| approaches its fixpoint\n"
+      "~(1 - e^-2)n (regime 2), where the last unvisited vertices are\n"
+      "swept up within a few more rounds (regime 3). 'coalesce loss' is\n"
+      "the fraction of pushes absorbed by duplicates — the price of the\n"
+      "bounded message budget.\n");
+  return 0;
+}

@@ -1,0 +1,23 @@
+// SPDX-License-Identifier: MIT
+#include "core/accounting.hpp"
+
+#include <algorithm>
+
+namespace cobra {
+
+void Accounting::begin_round() { per_round_.push_back(0); }
+
+void Accounting::record_vertex_send(std::uint64_t count) {
+  if (per_round_.empty()) begin_round();
+  per_round_.back() += count;
+  total_ += count;
+  peak_vertex_ = std::max(peak_vertex_, count);
+}
+
+std::uint64_t Accounting::peak_round_total() const noexcept {
+  std::uint64_t peak = 0;
+  for (const std::uint64_t value : per_round_) peak = std::max(peak, value);
+  return peak;
+}
+
+}  // namespace cobra

@@ -1,0 +1,43 @@
+// SPDX-License-Identifier: MIT
+//
+// Message accounting. The COBRA process exists to bound transmissions per
+// vertex per round; this collector makes that claim measurable and
+// comparable across protocols (experiment E12).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cobra {
+
+class Accounting {
+ public:
+  /// Starts a new round.
+  void begin_round();
+
+  /// Records `count` messages sent by one vertex in the current round.
+  void record_vertex_send(std::uint64_t count);
+
+  std::uint64_t total() const noexcept { return total_; }
+  std::size_t rounds() const noexcept { return per_round_.size(); }
+
+  /// Messages sent in round t (0-based).
+  std::uint64_t round_total(std::size_t t) const { return per_round_.at(t); }
+
+  /// Largest per-round total over the run.
+  std::uint64_t peak_round_total() const noexcept;
+
+  /// Largest count any single vertex sent in any single round.
+  std::uint64_t peak_vertex_round() const noexcept { return peak_vertex_; }
+
+  const std::vector<std::uint64_t>& per_round() const noexcept {
+    return per_round_;
+  }
+
+ private:
+  std::vector<std::uint64_t> per_round_;
+  std::uint64_t total_ = 0;
+  std::uint64_t peak_vertex_ = 0;
+};
+
+}  // namespace cobra

@@ -1,0 +1,112 @@
+// SPDX-License-Identifier: MIT
+#include "core/bips.hpp"
+
+#include <stdexcept>
+
+namespace cobra {
+
+BipsProcess::BipsProcess(const Graph& g, Vertex source, BipsOptions options)
+    : BipsProcess(g, std::span<const Vertex>(&source, 1), std::move(options)) {}
+
+BipsProcess::BipsProcess(const Graph& g, std::span<const Vertex> sources,
+                         BipsOptions options)
+    : graph_(&g),
+      source_(sources.empty() ? 0 : sources.front()),
+      is_source_(g.num_vertices(), 0),
+      options_(std::move(options)),
+      infected_(g.num_vertices(), 0),
+      next_infected_(g.num_vertices(), 0) {
+  if (g.num_vertices() == 0) {
+    throw std::invalid_argument("BipsProcess requires a non-empty graph");
+  }
+  if (sources.empty()) {
+    throw std::invalid_argument("BipsProcess requires >= 1 source");
+  }
+  if (g.min_degree() == 0) {
+    throw std::invalid_argument("BipsProcess requires min degree >= 1");
+  }
+  if (!options_.branching.is_fractional() && options_.branching.k == 0) {
+    throw std::invalid_argument("BipsProcess requires branching k >= 1");
+  }
+  std::size_t count = 0;
+  for (const Vertex s : sources) {
+    if (s >= g.num_vertices()) {
+      throw std::invalid_argument("BIPS source out of range");
+    }
+    if (!is_source_[s]) {
+      is_source_[s] = 1;
+      infected_[s] = 1;
+      ++count;
+    }
+  }
+  infected_count_ = count;
+}
+
+std::size_t BipsProcess::step(Rng& rng) {
+  const std::size_t n = graph_->num_vertices();
+  const Branching& branching = options_.branching;
+  std::size_t count = 0;
+  for (Vertex u = 0; u < n; ++u) {
+    if (is_source_[u]) {
+      next_infected_[u] = 1;
+      ++count;
+      continue;
+    }
+    const auto degree = graph_->degree(u);
+    const unsigned draws = branching.is_fractional()
+                               ? 1u + (rng.bernoulli(branching.rho) ? 1u : 0u)
+                               : branching.k;
+    char hit = 0;
+    for (unsigned i = 0; i < draws; ++i) {
+      const Vertex w = graph_->neighbor(
+          u, static_cast<std::size_t>(rng.next_below(degree)));
+      if (infected_[w]) {
+        // Early exit is distribution-preserving: the remaining draws are
+        // independent and influence nothing but this indicator.
+        hit = 1;
+        break;
+      }
+    }
+    next_infected_[u] = hit;
+    count += hit;
+  }
+  infected_.swap(next_infected_);
+  infected_count_ = count;
+  ++round_;
+  return count;
+}
+
+SpreadResult run_bips_infection(const Graph& g, Vertex source,
+                                BipsOptions options, Rng& rng) {
+  BipsProcess process(g, source, options);
+  SpreadResult result;
+  if (options.record_curve) result.curve.push_back(process.infected_count());
+  while (!process.fully_infected() && process.round() < options.max_rounds) {
+    process.step(rng);
+    if (options.record_curve) result.curve.push_back(process.infected_count());
+  }
+  result.completed = process.fully_infected();
+  result.rounds = process.round();
+  result.final_count = process.infected_count();
+  // Every non-source vertex transmits k (or 1 + Bernoulli(rho)) probes per
+  // round in expectation; exact accounting equals draws made, which we
+  // approximate by expectation here since probes are pulls, not pushes.
+  const double per_round =
+      options.branching.expected_factor() *
+      static_cast<double>(g.num_vertices() > 0 ? g.num_vertices() - 1 : 0);
+  result.total_transmissions =
+      static_cast<std::uint64_t>(per_round * static_cast<double>(result.rounds));
+  result.peak_vertex_round_transmissions =
+      options.branching.is_fractional() ? 2 : options.branching.k;
+  return result;
+}
+
+bool bips_membership_after(const Graph& g, Vertex source, Vertex probe,
+                           std::size_t t, BipsOptions options, Rng& rng) {
+  options.record_curve = false;
+  BipsProcess process(g, source, options);
+  for (std::size_t i = 0; i < t; ++i) process.step(rng);
+  return process.is_infected(probe);
+}
+
+}  // namespace cobra

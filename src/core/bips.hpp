@@ -1,0 +1,81 @@
+// SPDX-License-Identifier: MIT
+//
+// BIPS — Biased Infection with Persistent Source (paper Section 1), the
+// epidemic dual of COBRA under time reversal (Theorem 4).
+//
+// Round t -> t+1: every vertex u != source independently selects k
+// neighbours uniformly with replacement; u is in A_{t+1} iff at least one
+// selected neighbour is in A_t. The source is in A_t for every t. Note the
+// infected set is *not* monotone — a vertex can recover by sampling only
+// healthy neighbours (SIS type) — but the persistent source drives the
+// whole graph to infection w.h.p. (Theorem 2).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/process_common.hpp"
+#include "graph/graph.hpp"
+#include "rand/rng.hpp"
+
+namespace cobra {
+
+struct BipsOptions {
+  Branching branching = Branching::fixed(2);
+  std::size_t max_rounds = 1u << 20;
+  bool record_curve = true;
+};
+
+class BipsProcess {
+ public:
+  /// Starts with A_0 = {source}. Requires min degree >= 1 (every vertex
+  /// samples neighbours each round).
+  BipsProcess(const Graph& g, Vertex source, BipsOptions options = {});
+
+  /// Multi-source variant: every vertex of `sources` is persistently
+  /// infected (A_0 = sources). The time-reversal duality generalizes:
+  /// P(Hit_C(S) > t) = P(C cap A_t = empty | A_0 = S), where Hit_C(S) is
+  /// the first round the COBRA frontier meets the set S (the paper proves
+  /// the |S| = 1 case; the induction is verbatim for sets — tested exactly
+  /// in tests/exact_test.cpp).
+  BipsProcess(const Graph& g, std::span<const Vertex> sources,
+              BipsOptions options = {});
+
+  /// Executes one round; returns |A_{t+1}|.
+  std::size_t step(Rng& rng);
+
+  std::size_t round() const noexcept { return round_; }
+  std::size_t infected_count() const noexcept { return infected_count_; }
+  bool fully_infected() const noexcept {
+    return infected_count_ == graph_->num_vertices();
+  }
+  bool is_infected(Vertex v) const { return infected_[v] != 0; }
+  bool is_source(Vertex v) const { return is_source_[v] != 0; }
+  /// First source (the unique one in the single-source construction).
+  Vertex source() const noexcept { return source_; }
+  const Graph& graph() const noexcept { return *graph_; }
+
+ private:
+  const Graph* graph_;
+  Vertex source_;
+  std::vector<char> is_source_;
+  BipsOptions options_;
+  std::vector<char> infected_;
+  std::vector<char> next_infected_;
+  std::size_t infected_count_ = 1;
+  Round round_ = 0;
+};
+
+/// Runs until A_t = V or max_rounds. result.rounds is infec(source) when
+/// completed; curve[t] = |A_t|.
+SpreadResult run_bips_infection(const Graph& g, Vertex source,
+                                BipsOptions options, Rng& rng);
+
+/// Duality probe (right-hand side of Theorem 4): runs exactly t rounds and
+/// reports whether `probe` is in A_t. One Bernoulli sample of
+/// P(probe in A_t | A_0 = source).
+bool bips_membership_after(const Graph& g, Vertex source, Vertex probe,
+                           std::size_t t, BipsOptions options, Rng& rng);
+
+}  // namespace cobra

@@ -1,0 +1,111 @@
+// SPDX-License-Identifier: MIT
+#include "core/cobra.hpp"
+
+#include <stdexcept>
+
+namespace cobra {
+
+CobraProcess::CobraProcess(const Graph& g, Vertex start, CobraOptions options)
+    : CobraProcess(g, std::span<const Vertex>(&start, 1), std::move(options)) {}
+
+CobraProcess::CobraProcess(const Graph& g, std::span<const Vertex> starts,
+                           CobraOptions options)
+    : graph_(&g),
+      options_(std::move(options)),
+      member_stamp_(g.num_vertices(), kRoundNever),
+      first_visit_(g.num_vertices(), kRoundNever) {
+  if (g.num_vertices() == 0) {
+    throw std::invalid_argument("CobraProcess requires a non-empty graph");
+  }
+  if (g.min_degree() == 0) {
+    throw std::invalid_argument(
+        "CobraProcess requires min degree >= 1 (an active isolated vertex "
+        "cannot choose a neighbour)");
+  }
+  if (starts.empty()) {
+    throw std::invalid_argument("CobraProcess requires a non-empty start set");
+  }
+  if (!options_.branching.is_fractional() && options_.branching.k == 0) {
+    throw std::invalid_argument("CobraProcess requires branching k >= 1");
+  }
+  seed_frontier(starts);
+}
+
+void CobraProcess::seed_frontier(std::span<const Vertex> starts) {
+  frontier_.reserve(starts.size());
+  for (const Vertex v : starts) {
+    if (v >= graph_->num_vertices()) {
+      throw std::invalid_argument("start vertex out of range");
+    }
+    if (member_stamp_[v] == 0) continue;  // duplicate in the start set
+    member_stamp_[v] = 0;
+    first_visit_[v] = 0;
+    frontier_.push_back(v);
+  }
+  visited_count_ = frontier_.size();
+}
+
+std::size_t CobraProcess::step(Rng& rng) {
+  const Round next_round = round_ + 1;
+  next_frontier_.clear();
+  if (options_.record_curves) accounting_.begin_round();
+  std::size_t new_visits = 0;
+
+  const Branching& branching = options_.branching;
+  for (const Vertex v : frontier_) {
+    const auto degree = graph_->degree(v);
+    // Number of pushes this vertex performs this round.
+    unsigned pushes = branching.is_fractional()
+                          ? 1u + (rng.bernoulli(branching.rho) ? 1u : 0u)
+                          : branching.k;
+    if (options_.record_curves) accounting_.record_vertex_send(pushes);
+    for (unsigned i = 0; i < pushes; ++i) {
+      const Vertex w =
+          graph_->neighbor(v, static_cast<std::size_t>(rng.next_below(degree)));
+      if (member_stamp_[w] == next_round) continue;  // coalesce
+      member_stamp_[w] = next_round;
+      next_frontier_.push_back(w);
+      if (first_visit_[w] == kRoundNever) {
+        first_visit_[w] = next_round;
+        ++new_visits;
+      }
+    }
+  }
+  frontier_.swap(next_frontier_);
+  visited_count_ += new_visits;
+  round_ = next_round;
+  return new_visits;
+}
+
+SpreadResult run_cobra_cover(const Graph& g, Vertex start, CobraOptions options,
+                             Rng& rng) {
+  CobraProcess process(g, start, options);
+  SpreadResult result;
+  if (options.record_curves) result.curve.push_back(process.visited_count());
+  while (!process.covered() && process.round() < options.max_rounds) {
+    process.step(rng);
+    if (options.record_curves) result.curve.push_back(process.visited_count());
+  }
+  result.completed = process.covered();
+  result.rounds = process.round();
+  result.final_count = process.visited_count();
+  result.total_transmissions = process.accounting().total();
+  result.peak_vertex_round_transmissions = process.accounting().peak_vertex_round();
+  return result;
+}
+
+std::optional<std::size_t> cobra_hitting_time(const Graph& g,
+                                              std::span<const Vertex> starts,
+                                              Vertex target,
+                                              CobraOptions options, Rng& rng) {
+  options.record_curves = false;  // bulk Monte Carlo path
+  CobraProcess process(g, starts, options);
+  // Hit_C(v) = min{t : v in C_t} = the round of v's first visit.
+  while (!process.has_visited(target)) {
+    if (process.round() >= options.max_rounds) return std::nullopt;
+    process.step(rng);
+  }
+  return process.first_visit_round()[target];
+}
+
+}  // namespace cobra

@@ -1,0 +1,97 @@
+// SPDX-License-Identifier: MIT
+//
+// The COBRA (coalescing-branching random walk) process — the paper's
+// primary object.
+//
+// Round t -> t+1 (paper Section 1): every vertex in the active set C_t
+// independently chooses k neighbours uniformly at random *with
+// replacement*; C_{t+1} is the set of chosen vertices (duplicates
+// coalesce). A vertex that pushed stops until it is chosen again.
+//
+// The class exposes round-level stepping so examples can observe frontier
+// dynamics; run_cobra_cover / cobra_hitting_time wrap the common
+// measurements (cover time = min T with union_{t<=T} C_t = V, Theorem 1;
+// hitting time Hit_C(v), Theorem 4).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/accounting.hpp"
+#include "core/process_common.hpp"
+#include "graph/graph.hpp"
+#include "rand/rng.hpp"
+
+namespace cobra {
+
+struct CobraOptions {
+  Branching branching = Branching::fixed(2);
+  /// Abort threshold for run_cobra_cover (the process itself never dies).
+  std::size_t max_rounds = 1u << 20;
+  /// Record per-round frontier sizes and message counts (small overhead;
+  /// off for bulk Monte Carlo).
+  bool record_curves = true;
+};
+
+class CobraProcess {
+ public:
+  /// Starts with C_0 = {start}. Requires min degree >= 1 and start < n
+  /// (throws std::invalid_argument otherwise).
+  CobraProcess(const Graph& g, Vertex start, CobraOptions options = {});
+
+  /// Starts with C_0 = `starts` (deduplicated). Requires non-empty.
+  CobraProcess(const Graph& g, std::span<const Vertex> starts,
+               CobraOptions options = {});
+
+  /// Executes one round; returns the number of first-time visits.
+  std::size_t step(Rng& rng);
+
+  std::size_t round() const noexcept { return round_; }
+  std::size_t visited_count() const noexcept { return visited_count_; }
+  bool covered() const noexcept {
+    return visited_count_ == graph_->num_vertices();
+  }
+
+  /// Current active set C_t (each vertex once; sorted order not guaranteed).
+  std::span<const Vertex> frontier() const noexcept { return frontier_; }
+
+  bool has_visited(Vertex v) const { return first_visit_[v] != kRoundNever; }
+
+  /// Round of first visit per vertex (kRoundNever if unvisited). The start
+  /// set has round 0.
+  const std::vector<Round>& first_visit_round() const noexcept {
+    return first_visit_;
+  }
+
+  const Accounting& accounting() const noexcept { return accounting_; }
+  const Graph& graph() const noexcept { return *graph_; }
+
+ private:
+  void seed_frontier(std::span<const Vertex> starts);
+
+  const Graph* graph_;
+  CobraOptions options_;
+  std::vector<Vertex> frontier_;
+  std::vector<Vertex> next_frontier_;
+  /// Round stamp per vertex for O(1) dedup of the next frontier.
+  std::vector<Round> member_stamp_;
+  std::vector<Round> first_visit_;
+  std::size_t visited_count_ = 0;
+  Round round_ = 0;
+  Accounting accounting_;
+};
+
+/// Runs until covered or options.max_rounds; returns the uniform result
+/// (curve[t] = distinct vertices visited by end of round t).
+SpreadResult run_cobra_cover(const Graph& g, Vertex start, CobraOptions options,
+                             Rng& rng);
+
+/// Hit_C(v): rounds until `target` is in C_t, starting from C_0 = starts.
+/// nullopt if not hit within max_rounds. Hit is 0 if target is in starts.
+std::optional<std::size_t> cobra_hitting_time(const Graph& g,
+                                              std::span<const Vertex> starts,
+                                              Vertex target,
+                                              CobraOptions options, Rng& rng);
+
+}  // namespace cobra

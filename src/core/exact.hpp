@@ -1,0 +1,80 @@
+// SPDX-License-Identifier: MIT
+//
+// Exact (non-Monte-Carlo) evaluation of the COBRA and BIPS processes on
+// tiny graphs by dynamic programming over vertex subsets.
+//
+// Both processes are Markov chains on 2^V:
+//  * BIPS: given A_t, each vertex's membership in A_{t+1} is independent,
+//    with P(u in A_{t+1}) = 1 - (1 - d_A(u)/d(u))^k (and the source pinned),
+//    so the one-step transition factorizes over vertices.
+//  * COBRA: given C_t, each active vertex independently contributes the
+//    set of its k chosen neighbours; C_{t+1} is the union. The one-step
+//    distribution is the subset-OR convolution of the per-vertex choice
+//    distributions.
+//
+// These exact distributions let the test suite verify Theorem 4's duality
+//   P(Hit_C(v) > t | C_0 = C) = P(C cap A_t = 0 | A_0 = v)
+// to floating-point precision — no statistical tolerance — on graphs with
+// up to ~16 vertices, and give closed references for the simulators.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace cobra::exact {
+
+/// Subsets are bitmasks over vertices; n <= kMaxVertices enforced.
+inline constexpr std::size_t kMaxVertices = 16;
+using Mask = std::uint32_t;
+
+/// P(u in A_{t+1} | A_t = mask) for the BIPS sampling rule with integer
+/// branching k (u treated as a non-source vertex).
+double bips_vertex_infection_probability(const Graph& g, Vertex u, Mask mask,
+                                         unsigned k);
+
+/// Distribution over A_t (as a vector indexed by mask) after t BIPS rounds
+/// with source `source`, A_0 = {source}, branching k.
+std::vector<double> bips_distribution(const Graph& g, Vertex source,
+                                      std::size_t t, unsigned k);
+
+/// Multi-source generalization: every vertex in `source_mask` is pinned
+/// infected, A_0 = source_mask. Used to verify the set-version of the
+/// Theorem 4 duality.
+std::vector<double> bips_distribution_multi(const Graph& g, Mask source_mask,
+                                            std::size_t t, unsigned k);
+
+/// Exact P(probe in A_t | A_0 = {source}) for BIPS.
+double bips_membership_probability(const Graph& g, Vertex source, Vertex probe,
+                                   std::size_t t, unsigned k);
+
+/// One-step COBRA frontier distribution: P(C_{t+1} = . | C_t = mask),
+/// branching k. Returned vector is indexed by next-mask.
+std::vector<double> cobra_step_distribution(const Graph& g, Mask mask,
+                                            unsigned k);
+
+/// Exact P(Hit_C(v) > t | C_0 = start_mask) for COBRA with branching k:
+/// the probability that vertex v appears in none of C_1, ..., C_t.
+double cobra_hitting_tail(const Graph& g, Mask start_mask, Vertex target,
+                          std::size_t t, unsigned k);
+
+/// Set-target version: probability that the frontier avoids ALL vertices
+/// of `target_mask` through rounds 1..t.
+double cobra_hitting_tail_set(const Graph& g, Mask start_mask,
+                              Mask target_mask, std::size_t t, unsigned k);
+
+/// Exact expected size E(|A_{t+1}|) given A_t = mask (for Lemma 1 checks).
+double bips_expected_next_size(const Graph& g, Vertex source, Mask mask,
+                               unsigned k);
+
+/// Exact expected COBRA cover time COV(start) by stratified dynamic
+/// programming over (visited set, frontier) states: within each visited
+/// set V the frontier states form a linear system (the frontier can churn
+/// without visiting anyone new), solved densely; across V the recursion
+/// is acyclic because V only grows. Cost ~ sum_V (2^|V|)^3, so this is
+/// capped at n <= 10 vertices. The gold reference for the Monte Carlo
+/// cover pipeline.
+double cobra_expected_cover_time(const Graph& g, Vertex start, unsigned k);
+
+}  // namespace cobra::exact

@@ -1,0 +1,45 @@
+// SPDX-License-Identifier: MIT
+#include "core/frontier_stats.hpp"
+
+namespace cobra {
+
+FrontierTrace trace_cobra(const Graph& g, Vertex start, CobraOptions options,
+                          Rng& rng) {
+  options.record_curves = false;
+  CobraProcess process(g, start, options);
+  FrontierTrace trace;
+  const unsigned k = options.branching.is_fractional()
+                         ? 2u  // upper bound; exact pushes tallied below
+                         : options.branching.k;
+  while (!process.covered() && process.round() < options.max_rounds) {
+    FrontierRound row;
+    row.round = process.round();
+    row.frontier_size = process.frontier().size();
+    // For integer branching, pushes are exactly k per active vertex; the
+    // fractional case is approximated by the expectation.
+    row.pushes = options.branching.is_fractional()
+                     ? static_cast<std::size_t>(
+                           static_cast<double>(row.frontier_size) *
+                           options.branching.expected_factor())
+                     : row.frontier_size * k;
+    row.new_visits = process.step(rng);
+    row.next_frontier_size = process.frontier().size();
+    row.visited_total = process.visited_count();
+    row.effective_branching =
+        row.frontier_size > 0
+            ? static_cast<double>(row.next_frontier_size) /
+                  static_cast<double>(row.frontier_size)
+            : 0.0;
+    row.coalescing_loss =
+        row.pushes > 0
+            ? 1.0 - static_cast<double>(row.next_frontier_size) /
+                        static_cast<double>(row.pushes)
+            : 0.0;
+    trace.per_round.push_back(row);
+  }
+  trace.covered = process.covered();
+  trace.rounds = process.round();
+  return trace;
+}
+
+}  // namespace cobra

@@ -1,0 +1,39 @@
+// SPDX-License-Identifier: MIT
+//
+// Round-by-round anatomy of a COBRA run: frontier sizes, first visits,
+// effective branching ratios, and coalescing losses. Exposes the three
+// regimes the proofs of Lemmas 2-4 formalize — near-doubling growth,
+// collision-limited middle game, and the endgame sweep.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cobra.hpp"
+
+namespace cobra {
+
+struct FrontierRound {
+  std::size_t round = 0;
+  std::size_t frontier_size = 0;      ///< |C_t|
+  std::size_t pushes = 0;             ///< k |C_t| (messages sent)
+  std::size_t next_frontier_size = 0; ///< |C_{t+1}| (distinct receivers)
+  std::size_t new_visits = 0;         ///< first-time visits in round t+1
+  std::size_t visited_total = 0;      ///< distinct visited by end of t+1
+  /// |C_{t+1}| / |C_t| — near 2 early, sinks toward 1 as collisions bite.
+  double effective_branching = 0.0;
+  /// 1 - distinct receivers / pushes: fraction of messages coalesced away.
+  double coalescing_loss = 0.0;
+};
+
+struct FrontierTrace {
+  bool covered = false;
+  std::size_t rounds = 0;
+  std::vector<FrontierRound> per_round;
+};
+
+/// Runs a COBRA cover, recording one FrontierRound per step.
+FrontierTrace trace_cobra(const Graph& g, Vertex start, CobraOptions options,
+                          Rng& rng);
+
+}  // namespace cobra

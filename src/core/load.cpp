@@ -1,0 +1,34 @@
+// SPDX-License-Identifier: MIT
+#include "core/load.hpp"
+
+#include <algorithm>
+
+namespace cobra {
+
+LoadReport run_cobra_with_load(const Graph& g, Vertex start,
+                               CobraOptions options, Rng& rng) {
+  options.record_curves = false;
+  CobraProcess process(g, start, options);
+  LoadReport report;
+  report.activations.assign(g.num_vertices(), 0);
+  for (const Vertex v : process.frontier()) ++report.activations[v];
+  while (!process.covered() && process.round() < options.max_rounds) {
+    process.step(rng);
+    for (const Vertex v : process.frontier()) ++report.activations[v];
+  }
+  report.covered = process.covered();
+  report.rounds = process.round();
+  std::uint64_t total = 0;
+  std::size_t reactivated = 0;
+  for (const std::uint32_t count : report.activations) {
+    report.max_activations = std::max(report.max_activations, count);
+    total += count;
+    reactivated += (count >= 2);
+  }
+  const auto n = static_cast<double>(g.num_vertices());
+  report.mean_activations = static_cast<double>(total) / n;
+  report.reactivated_fraction = static_cast<double>(reactivated) / n;
+  return report;
+}
+
+}  // namespace cobra

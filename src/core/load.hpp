@@ -1,0 +1,36 @@
+// SPDX-License-Identifier: MIT
+//
+// Per-vertex load analysis for COBRA runs. The protocol bounds sends per
+// vertex per ROUND by construction; this module measures the cumulative
+// picture — how many rounds each vertex spends active (and therefore how
+// many messages it sends in total) over a cover — quantifying the load-
+// balance claim behind "limited number of transmissions per vertex".
+// Built purely on CobraProcess's public stepping API.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cobra.hpp"
+
+namespace cobra {
+
+struct LoadReport {
+  bool covered = false;
+  std::size_t rounds = 0;
+  /// activations[v] = number of rounds v was in the active set C_t
+  /// (counting C_0).
+  std::vector<std::uint32_t> activations;
+  std::uint32_t max_activations = 0;
+  double mean_activations = 0.0;
+  /// Fraction of vertices never activated after being visited is 0 by
+  /// definition of visiting; vertices can be visited and active multiple
+  /// times — this is the fraction with activations >= 2.
+  double reactivated_fraction = 0.0;
+};
+
+/// Runs a COBRA cover and collects activation counts.
+LoadReport run_cobra_with_load(const Graph& g, Vertex start,
+                               CobraOptions options, Rng& rng);
+
+}  // namespace cobra

@@ -1,0 +1,54 @@
+// SPDX-License-Identifier: MIT
+//
+// Types shared by the COBRA/BIPS engines and the baseline protocols.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace cobra {
+
+/// Round index type; kRoundNever marks "event has not happened".
+using Round = std::uint32_t;
+inline constexpr Round kRoundNever = std::numeric_limits<Round>::max();
+
+/// Branching specification shared by COBRA and BIPS.
+///
+/// * integer mode (`rho < 0`): every active/susceptible vertex draws
+///   exactly `k` uniform neighbours with replacement — the paper's main
+///   setting is k = 2, and k = 1 degenerates to a simple random walk.
+/// * fractional mode (`rho >= 0`): one draw always, plus a second draw
+///   with probability rho — expected branching factor 1 + rho, the
+///   Theorem 3 / Corollary 1 setting.
+struct Branching {
+  unsigned k = 2;
+  double rho = -1.0;
+
+  static Branching fixed(unsigned k_value) { return {k_value, -1.0}; }
+  static Branching fractional(double rho_value) { return {1u, rho_value}; }
+
+  bool is_fractional() const noexcept { return rho >= 0.0; }
+  /// Expected number of draws per active vertex per round.
+  double expected_factor() const noexcept {
+    return is_fractional() ? 1.0 + rho : static_cast<double>(k);
+  }
+};
+
+/// Uniform result shape for all spreading processes, so experiments can
+/// tabulate protocols side by side.
+struct SpreadResult {
+  bool completed = false;       ///< all n vertices reached before max_rounds
+  std::size_t rounds = 0;       ///< rounds executed (== completion round if completed)
+  std::size_t final_count = 0;  ///< reached/infected vertices at the end
+  /// curve[t] = number of distinct vertices reached by the end of round t
+  /// (curve[0] = 1 for the initial vertex).
+  std::vector<std::size_t> curve;
+  std::uint64_t total_transmissions = 0;
+  /// Largest number of messages any single vertex sent in one round.
+  std::uint64_t peak_vertex_round_transmissions = 0;
+};
+
+}  // namespace cobra

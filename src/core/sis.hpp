@@ -1,0 +1,42 @@
+// SPDX-License-Identifier: MIT
+//
+// Source-free variant of BIPS: identical sampling dynamics, but no vertex
+// is pinned infected, so the process is a genuine discrete SIS epidemic
+// that can die out — the finite analogue of the contact-process extinction
+// the paper contrasts COBRA with ("a contact process can die out, whereas
+// the COBRA one does not"). Used by experiment E14 to show the persistent
+// source is what makes Theorem 2 possible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/process_common.hpp"
+#include "graph/graph.hpp"
+#include "rand/rng.hpp"
+
+namespace cobra {
+
+struct SisOptions {
+  Branching branching = Branching::fixed(2);
+  std::size_t max_rounds = 1u << 16;
+};
+
+enum class SisOutcome : std::uint8_t {
+  kExtinct,        ///< A_t became empty
+  kFullInfection,  ///< A_t = V at some round
+  kTimedOut,       ///< still live at max_rounds
+};
+
+struct SisResult {
+  SisOutcome outcome = SisOutcome::kTimedOut;
+  std::size_t rounds = 0;
+  std::size_t final_count = 0;
+  std::vector<std::size_t> curve;  ///< |A_t| per round (starts at |A_0|)
+};
+
+/// Runs the source-free SIS process from A_0 = {seed} until extinction,
+/// full infection, or max_rounds.
+SisResult run_sis(const Graph& g, Vertex seed, SisOptions options, Rng& rng);
+
+}  // namespace cobra

@@ -1,0 +1,108 @@
+// SPDX-License-Identifier: MIT
+#include "graph/analysis.hpp"
+
+#include <limits>
+#include <queue>
+
+namespace cobra {
+
+namespace {
+constexpr std::size_t kUnreached = std::numeric_limits<std::size_t>::max();
+}  // namespace
+
+bool is_connected(const Graph& g) { return count_components(g) <= 1; }
+
+std::size_t count_components(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  std::vector<char> seen(n, 0);
+  std::size_t components = 0;
+  std::vector<Vertex> stack;
+  for (Vertex start = 0; start < n; ++start) {
+    if (seen[start]) continue;
+    ++components;
+    seen[start] = 1;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const Vertex v = stack.back();
+      stack.pop_back();
+      for (const Vertex w : g.neighbors(v)) {
+        if (!seen[w]) {
+          seen[w] = 1;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+bool is_bipartite(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  std::vector<signed char> colour(n, -1);
+  std::vector<Vertex> stack;
+  for (Vertex start = 0; start < n; ++start) {
+    if (colour[start] != -1) continue;
+    colour[start] = 0;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const Vertex v = stack.back();
+      stack.pop_back();
+      for (const Vertex w : g.neighbors(v)) {
+        if (colour[w] == -1) {
+          colour[w] = static_cast<signed char>(1 - colour[v]);
+          stack.push_back(w);
+        } else if (colour[w] == colour[v]) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<std::size_t> bfs_distances(const Graph& g, Vertex source) {
+  const std::size_t n = g.num_vertices();
+  std::vector<std::size_t> dist(n, kUnreached);
+  std::queue<Vertex> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const Vertex v = frontier.front();
+    frontier.pop();
+    for (const Vertex w : g.neighbors(v)) {
+      if (dist[w] == kUnreached) {
+        dist[w] = dist[v] + 1;
+        frontier.push(w);
+      }
+    }
+  }
+  return dist;
+}
+
+std::optional<std::size_t> eccentricity(const Graph& g, Vertex source) {
+  std::size_t ecc = 0;
+  for (const std::size_t d : bfs_distances(g, source)) {
+    if (d == kUnreached) return std::nullopt;
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::optional<std::size_t> diameter(const Graph& g) {
+  if (g.num_vertices() == 0) return 0;
+  std::size_t best = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const auto ecc = eccentricity(g, v);
+    if (!ecc) return std::nullopt;
+    best = std::max(best, *ecc);
+  }
+  return best;
+}
+
+std::size_t degree_sum(const Graph& g) {
+  std::size_t total = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) total += g.degree(v);
+  return total;
+}
+
+}  // namespace cobra

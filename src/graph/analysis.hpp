@@ -1,0 +1,41 @@
+// SPDX-License-Identifier: MIT
+//
+// Structural graph analysis: connectivity, bipartiteness, distances.
+// Theorem 1's hypotheses are "connected", "regular", "lambda < 1"
+// (equivalently, non-bipartite); every experiment asserts the first two
+// here and measures the third in src/spectral.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace cobra {
+
+/// True if the graph is connected (n == 0 and n == 1 count as connected).
+bool is_connected(const Graph& g);
+
+/// Number of connected components.
+std::size_t count_components(const Graph& g);
+
+/// True if the graph is bipartite (2-colourable). For connected regular
+/// graphs this is exactly the lambda_n == -1 case excluded by the paper.
+bool is_bipartite(const Graph& g);
+
+/// BFS distances from `source`; unreachable vertices get SIZE_MAX.
+std::vector<std::size_t> bfs_distances(const Graph& g, Vertex source);
+
+/// Eccentricity of `source` (max finite BFS distance). Returns nullopt if
+/// some vertex is unreachable.
+std::optional<std::size_t> eccentricity(const Graph& g, Vertex source);
+
+/// Exact diameter via n BFS sweeps — O(nm); fine at experiment sizes where
+/// it is used (tests and the atlas example).
+std::optional<std::size_t> diameter(const Graph& g);
+
+/// Sum of all vertex degrees (2m); sanity anchor used in tests.
+std::size_t degree_sum(const Graph& g);
+
+}  // namespace cobra

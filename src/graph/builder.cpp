@@ -1,0 +1,75 @@
+// SPDX-License-Identifier: MIT
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cobra {
+
+GraphBuilder::GraphBuilder(std::size_t n) : num_vertices_(n) {}
+
+void GraphBuilder::add_edge(Vertex u, Vertex v) {
+  if (u >= num_vertices_ || v >= num_vertices_) {
+    throw std::invalid_argument(
+        "edge endpoint out of range: {" + std::to_string(u) + "," +
+        std::to_string(v) + "} with n=" + std::to_string(num_vertices_));
+  }
+  if (u == v) {
+    throw std::invalid_argument("self-loop rejected at vertex " +
+                                std::to_string(u));
+  }
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+}
+
+bool GraphBuilder::has_edge_queued(Vertex u, Vertex v) const {
+  if (u > v) std::swap(u, v);
+  return std::find(edges_.begin(), edges_.end(), std::make_pair(u, v)) !=
+         edges_.end();
+}
+
+Graph GraphBuilder::build(std::string name) {
+  return finish(std::move(name), /*allow_duplicates=*/false);
+}
+
+Graph GraphBuilder::build_dedup(std::string name) {
+  return finish(std::move(name), /*allow_duplicates=*/true);
+}
+
+Graph GraphBuilder::finish(std::string name, bool allow_duplicates) {
+  std::sort(edges_.begin(), edges_.end());
+  const auto first_dup = std::adjacent_find(edges_.begin(), edges_.end());
+  if (first_dup != edges_.end()) {
+    if (!allow_duplicates) {
+      throw std::invalid_argument(
+          "duplicate edge {" + std::to_string(first_dup->first) + "," +
+          std::to_string(first_dup->second) + "} in graph '" + name + "'");
+    }
+    edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  }
+
+  std::vector<std::size_t> offsets(num_vertices_ + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++offsets[u + 1];
+    ++offsets[v + 1];
+  }
+  for (std::size_t i = 1; i <= num_vertices_; ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<Vertex> adjacency(edges_.size() * 2);
+  std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const auto& [u, v] : edges_) {
+    adjacency[cursor[u]++] = v;
+    adjacency[cursor[v]++] = u;
+  }
+  // Edges were sorted by (min, max); per-vertex lists need an explicit sort
+  // because a vertex appears as both endpoint roles.
+  for (Vertex v = 0; v < num_vertices_; ++v) {
+    std::sort(adjacency.begin() + static_cast<std::ptrdiff_t>(offsets[v]),
+              adjacency.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]));
+  }
+
+  edges_.clear();
+  return Graph(std::move(offsets), std::move(adjacency), std::move(name));
+}
+
+}  // namespace cobra

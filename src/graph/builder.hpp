@@ -1,0 +1,53 @@
+// SPDX-License-Identifier: MIT
+//
+// Mutable edge-list accumulator that validates and freezes into an
+// immutable CSR Graph. All generators and file readers construct graphs
+// through this class, so the CSR invariants (sorted neighbour lists, no
+// self-loops, no multi-edges, symmetric adjacency) are established in
+// exactly one place.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace cobra {
+
+class GraphBuilder {
+ public:
+  /// Builder for a graph on n vertices.
+  explicit GraphBuilder(std::size_t n);
+
+  /// Queues the undirected edge {u, v}. Throws std::invalid_argument on
+  /// out-of-range endpoints or self-loops. Duplicate edges are detected at
+  /// build() time (cheaper than a hash set per add_edge).
+  void add_edge(Vertex u, Vertex v);
+
+  /// True if {u,v} was queued already. O(queued edges) — intended for
+  /// generators that add few edges or want occasional checks; heavy users
+  /// should dedup themselves.
+  bool has_edge_queued(Vertex u, Vertex v) const;
+
+  std::size_t num_vertices() const noexcept { return num_vertices_; }
+  std::size_t num_edges_queued() const noexcept { return edges_.size(); }
+
+  /// Freezes into a Graph named `name`. Throws std::invalid_argument if any
+  /// duplicate undirected edge was queued. The builder is left empty.
+  Graph build(std::string name);
+
+  /// Like build(), but silently drops duplicate edges instead of throwing —
+  /// for random generators (e.g. G(n,p) contact overlays) where collisions
+  /// are expected and harmless.
+  Graph build_dedup(std::string name);
+
+ private:
+  Graph finish(std::string name, bool allow_duplicates);
+
+  std::size_t num_vertices_;
+  std::vector<std::pair<Vertex, Vertex>> edges_;
+};
+
+}  // namespace cobra

@@ -1,0 +1,134 @@
+// SPDX-License-Identifier: MIT
+#include <stdexcept>
+#include <string>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace cobra::gen {
+
+namespace {
+std::string tag(const std::string& family, const std::string& params) {
+  return family + "(" + params + ")";
+}
+}  // namespace
+
+Graph complete(std::size_t n) {
+  GraphBuilder builder(n);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) builder.add_edge(u, v);
+  }
+  return builder.build(tag("complete", "n=" + std::to_string(n)));
+}
+
+Graph complete_bipartite(std::size_t a, std::size_t b) {
+  GraphBuilder builder(a + b);
+  for (Vertex u = 0; u < a; ++u) {
+    for (std::size_t j = 0; j < b; ++j) {
+      builder.add_edge(u, static_cast<Vertex>(a + j));
+    }
+  }
+  return builder.build(
+      tag("complete_bipartite", "a=" + std::to_string(a) + ",b=" + std::to_string(b)));
+}
+
+Graph cycle(std::size_t n) {
+  if (n < 3) throw std::invalid_argument("cycle requires n >= 3");
+  GraphBuilder builder(n);
+  for (Vertex v = 0; v < n; ++v) {
+    builder.add_edge(v, static_cast<Vertex>((v + 1) % n));
+  }
+  return builder.build(tag("cycle", "n=" + std::to_string(n)));
+}
+
+Graph path(std::size_t n) {
+  if (n < 1) throw std::invalid_argument("path requires n >= 1");
+  GraphBuilder builder(n);
+  for (Vertex v = 0; v + 1 < n; ++v) {
+    builder.add_edge(v, v + 1);
+  }
+  return builder.build(tag("path", "n=" + std::to_string(n)));
+}
+
+Graph star(std::size_t n) {
+  if (n < 2) throw std::invalid_argument("star requires n >= 2");
+  GraphBuilder builder(n);
+  for (Vertex v = 1; v < n; ++v) builder.add_edge(0, v);
+  return builder.build(tag("star", "n=" + std::to_string(n)));
+}
+
+Graph binary_tree(std::size_t levels) {
+  if (levels < 1) throw std::invalid_argument("binary_tree requires levels >= 1");
+  const std::size_t n = (std::size_t{1} << levels) - 1;
+  GraphBuilder builder(n);
+  for (Vertex v = 1; v < n; ++v) {
+    builder.add_edge(v, (v - 1) / 2);
+  }
+  return builder.build(tag("binary_tree", "levels=" + std::to_string(levels)));
+}
+
+Graph circulant(std::size_t n, const std::vector<std::uint32_t>& offsets) {
+  if (n < 3) throw std::invalid_argument("circulant requires n >= 3");
+  GraphBuilder builder(n);
+  for (const std::uint32_t s : offsets) {
+    if (s == 0 || s >= n) {
+      throw std::invalid_argument("circulant offset must satisfy 0 < s < n");
+    }
+    const bool matching = (2 * static_cast<std::size_t>(s) == n);
+    for (Vertex v = 0; v < n; ++v) {
+      const auto w = static_cast<Vertex>((v + s) % n);
+      if (matching && v > w) continue;  // each matching edge only once
+      builder.add_edge(v, w);
+    }
+  }
+  std::string param = "n=" + std::to_string(n) + ",s={";
+  for (std::size_t i = 0; i < offsets.size(); ++i) {
+    if (i) param += ',';
+    param += std::to_string(offsets[i]);
+  }
+  param += '}';
+  return builder.build(tag("circulant", param));
+}
+
+Graph lollipop(std::size_t clique_size, std::size_t path_size) {
+  if (clique_size < 2) throw std::invalid_argument("lollipop clique_size >= 2");
+  const std::size_t n = clique_size + path_size;
+  GraphBuilder builder(n);
+  for (Vertex u = 0; u < clique_size; ++u) {
+    for (Vertex v = u + 1; v < clique_size; ++v) builder.add_edge(u, v);
+  }
+  for (std::size_t i = 0; i < path_size; ++i) {
+    const auto v = static_cast<Vertex>(clique_size + i);
+    builder.add_edge(static_cast<Vertex>(v - 1), v);
+  }
+  return builder.build(tag("lollipop", "clique=" + std::to_string(clique_size) +
+                                           ",path=" + std::to_string(path_size)));
+}
+
+Graph barbell(std::size_t clique_size, std::size_t bridge) {
+  if (clique_size < 2) throw std::invalid_argument("barbell clique_size >= 2");
+  const std::size_t n = 2 * clique_size + bridge;
+  GraphBuilder builder(n);
+  const auto add_clique = [&](Vertex base) {
+    for (std::size_t u = 0; u < clique_size; ++u) {
+      for (std::size_t v = u + 1; v < clique_size; ++v) {
+        builder.add_edge(static_cast<Vertex>(base + u),
+                         static_cast<Vertex>(base + v));
+      }
+    }
+  };
+  add_clique(0);
+  add_clique(static_cast<Vertex>(clique_size + bridge));
+  // Chain: last vertex of left clique — bridge path — first of right clique.
+  Vertex previous = static_cast<Vertex>(clique_size - 1);
+  for (std::size_t i = 0; i < bridge; ++i) {
+    const auto v = static_cast<Vertex>(clique_size + i);
+    builder.add_edge(previous, v);
+    previous = v;
+  }
+  builder.add_edge(previous, static_cast<Vertex>(clique_size + bridge));
+  return builder.build(tag("barbell", "clique=" + std::to_string(clique_size) +
+                                          ",bridge=" + std::to_string(bridge)));
+}
+
+}  // namespace cobra::gen

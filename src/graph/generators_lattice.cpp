@@ -1,0 +1,87 @@
+// SPDX-License-Identifier: MIT
+#include <stdexcept>
+#include <string>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace cobra::gen {
+
+namespace {
+
+/// Mixed-radix coordinates <-> linear index for d-dimensional lattices.
+std::size_t linear_index(const std::vector<std::size_t>& coord,
+                         const std::vector<std::size_t>& dims) {
+  std::size_t index = 0;
+  for (std::size_t d = 0; d < dims.size(); ++d) {
+    index = index * dims[d] + coord[d];
+  }
+  return index;
+}
+
+bool next_coordinate(std::vector<std::size_t>& coord,
+                     const std::vector<std::size_t>& dims) {
+  for (std::size_t d = dims.size(); d-- > 0;) {
+    if (++coord[d] < dims[d]) return true;
+    coord[d] = 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+Graph grid(const std::vector<std::size_t>& dims, bool periodic) {
+  if (dims.empty()) throw std::invalid_argument("grid requires >= 1 dimension");
+  std::size_t n = 1;
+  for (const std::size_t side : dims) {
+    if (side < 2) throw std::invalid_argument("grid sides must be >= 2");
+    if (periodic && side < 3) {
+      // side == 2 with wraparound creates the duplicate edge (0,1)+(1,0).
+      throw std::invalid_argument("torus sides must be >= 3");
+    }
+    n *= side;
+  }
+  GraphBuilder builder(n);
+  std::vector<std::size_t> coord(dims.size(), 0);
+  do {
+    const auto u = static_cast<Vertex>(linear_index(coord, dims));
+    for (std::size_t d = 0; d < dims.size(); ++d) {
+      // Only the +1 direction: the -1 edge is added by the neighbour.
+      auto next = coord;
+      if (coord[d] + 1 < dims[d]) {
+        next[d] = coord[d] + 1;
+      } else if (periodic) {
+        next[d] = 0;
+      } else {
+        continue;
+      }
+      builder.add_edge(u, static_cast<Vertex>(linear_index(next, dims)));
+    }
+  } while (next_coordinate(coord, dims));
+
+  std::string param = std::string(periodic ? "" : "open,") + "dims=";
+  for (std::size_t d = 0; d < dims.size(); ++d) {
+    if (d) param += 'x';
+    param += std::to_string(dims[d]);
+  }
+  return builder.build((periodic ? "torus(" : "grid(") + param + ")");
+}
+
+Graph torus(const std::vector<std::size_t>& dims) {
+  return grid(dims, /*periodic=*/true);
+}
+
+Graph hypercube(std::size_t d) {
+  if (d < 1 || d > 31) throw std::invalid_argument("hypercube requires 1 <= d <= 31");
+  const std::size_t n = std::size_t{1} << d;
+  GraphBuilder builder(n);
+  for (Vertex v = 0; v < n; ++v) {
+    for (std::size_t bit = 0; bit < d; ++bit) {
+      const Vertex w = v ^ static_cast<Vertex>(std::size_t{1} << bit);
+      if (v < w) builder.add_edge(v, w);
+    }
+  }
+  return builder.build("hypercube(d=" + std::to_string(d) + ")");
+}
+
+}  // namespace cobra::gen

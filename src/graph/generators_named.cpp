@@ -1,0 +1,134 @@
+// SPDX-License-Identifier: MIT
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace cobra::gen {
+
+namespace {
+
+bool is_prime(std::size_t q) {
+  if (q < 2) return false;
+  for (std::size_t d = 2; d * d <= q; ++d) {
+    if (q % d == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Graph petersen() {
+  Graph g = generalized_petersen(5, 2);
+  return Graph(std::vector<std::size_t>(g.offsets().begin(), g.offsets().end()),
+               std::vector<Vertex>(g.adjacency().begin(), g.adjacency().end()),
+               "petersen");
+}
+
+Graph generalized_petersen(std::size_t n, std::size_t k) {
+  if (n < 3) throw std::invalid_argument("generalized_petersen requires n >= 3");
+  if (k < 1 || 2 * k >= n) {
+    throw std::invalid_argument("generalized_petersen requires 1 <= k < n/2");
+  }
+  GraphBuilder builder(2 * n);
+  for (Vertex i = 0; i < n; ++i) {
+    const auto outer_next = static_cast<Vertex>((i + 1) % n);
+    const auto inner_i = static_cast<Vertex>(n + i);
+    const auto inner_step = static_cast<Vertex>(n + (i + k) % n);
+    builder.add_edge(i, outer_next);   // outer cycle
+    builder.add_edge(inner_i, inner_step);  // inner star polygon
+    builder.add_edge(i, inner_i);      // spoke
+  }
+  return builder.build("generalized_petersen(n=" + std::to_string(n) +
+                       ",k=" + std::to_string(k) + ")");
+}
+
+Graph margulis(std::size_t m) {
+  if (m < 3) throw std::invalid_argument("margulis requires m >= 3");
+  const std::size_t n = m * m;
+  const auto id = [m](std::size_t x, std::size_t y) {
+    return static_cast<Vertex>(x * m + y);
+  };
+  GraphBuilder builder(n);
+  // Margulis-Gabber-Galil template: (x, y) is adjacent to
+  //   (x + y, y), (x - y, y), (x + y + 1, y), (x - y - 1, y),
+  //   (x, y + x), (x, y - x), (x, y + x + 1), (x, y - x - 1)   (mod m).
+  // The template yields self-loops (e.g. y = 0 fixed points) and coincident
+  // pairs; we drop those via build_dedup, keeping the constant-gap expander
+  // structure on the remaining edges.
+  std::vector<std::pair<Vertex, Vertex>> raw;
+  for (std::size_t x = 0; x < m; ++x) {
+    for (std::size_t y = 0; y < m; ++y) {
+      const Vertex u = id(x, y);
+      const std::size_t targets[4][2] = {
+          {(x + y) % m, y},
+          {(x + y + 1) % m, y},
+          {x, (y + x) % m},
+          {x, (y + x + 1) % m},
+      };
+      for (const auto& t : targets) {
+        const Vertex v = id(t[0], t[1]);
+        if (u != v) raw.emplace_back(u, v);
+      }
+    }
+  }
+  for (const auto& [u, v] : raw) builder.add_edge(u, v);
+  return builder.build_dedup("margulis(m=" + std::to_string(m) + ")");
+}
+
+Graph paley(std::size_t q) {
+  if (!is_prime(q) || q % 4 != 1) {
+    throw std::invalid_argument(
+        "paley requires a prime q = 1 (mod 4), got " + std::to_string(q));
+  }
+  // Quadratic residues mod q; since q = 1 mod 4, -1 is a QR and the
+  // residue relation is symmetric.
+  std::vector<char> is_residue(q, 0);
+  for (std::size_t x = 1; x < q; ++x) {
+    is_residue[(x * x) % q] = 1;
+  }
+  GraphBuilder builder(q);
+  for (std::size_t u = 0; u < q; ++u) {
+    for (std::size_t v = u + 1; v < q; ++v) {
+      if (is_residue[(v - u) % q]) {
+        builder.add_edge(static_cast<Vertex>(u), static_cast<Vertex>(v));
+      }
+    }
+  }
+  return builder.build("paley(q=" + std::to_string(q) + ")");
+}
+
+Graph kneser(std::size_t n_set, std::size_t k_subset) {
+  if (k_subset == 0 || n_set < 2 * k_subset) {
+    throw std::invalid_argument("kneser requires 1 <= k and n >= 2k");
+  }
+  // Enumerate k-subsets as bitmasks in lexicographic order of mask value.
+  std::vector<std::uint64_t> subsets;
+  const std::uint64_t full = (n_set >= 64) ? ~0ULL : ((1ULL << n_set) - 1);
+  std::uint64_t mask = (1ULL << k_subset) - 1;  // smallest k-subset
+  while (mask <= full) {
+    subsets.push_back(mask);
+    if (subsets.size() > 1'000'000) {
+      throw std::invalid_argument("kneser: C(n,k) exceeds 1e6 vertices");
+    }
+    // Gosper's hack: next bitmask with the same popcount.
+    const std::uint64_t c = mask & (~mask + 1);
+    const std::uint64_t r = mask + c;
+    if (r > full || r < mask) break;
+    mask = (((r ^ mask) >> 2) / c) | r;
+  }
+  GraphBuilder builder(subsets.size());
+  for (std::size_t i = 0; i < subsets.size(); ++i) {
+    for (std::size_t j = i + 1; j < subsets.size(); ++j) {
+      if ((subsets[i] & subsets[j]) == 0) {
+        builder.add_edge(static_cast<Vertex>(i), static_cast<Vertex>(j));
+      }
+    }
+  }
+  return builder.build("kneser(n=" + std::to_string(n_set) +
+                       ",k=" + std::to_string(k_subset) + ")");
+}
+
+}  // namespace cobra::gen

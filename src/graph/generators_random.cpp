@@ -1,0 +1,333 @@
+// SPDX-License-Identifier: MIT
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/analysis.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "rand/sampling.hpp"
+
+namespace cobra::gen {
+
+namespace {
+
+/// Canonical 64-bit key of an undirected edge for hash-set membership.
+std::uint64_t edge_key(Vertex u, Vertex v) noexcept {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+/// One configuration-model pairing: shuffles n*r stubs and pairs them.
+std::vector<std::pair<Vertex, Vertex>> random_pairing(std::size_t n,
+                                                      std::size_t r,
+                                                      Rng& rng) {
+  std::vector<Vertex> stubs;
+  stubs.reserve(n * r);
+  for (Vertex v = 0; v < n; ++v) {
+    for (std::size_t i = 0; i < r; ++i) stubs.push_back(v);
+  }
+  shuffle(std::span<Vertex>(stubs), rng);
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  edges.reserve(stubs.size() / 2);
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    edges.emplace_back(stubs[i], stubs[i + 1]);
+  }
+  return edges;
+}
+
+bool pairing_is_simple(const std::vector<std::pair<Vertex, Vertex>>& edges) {
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(edges.size() * 2);
+  for (const auto& [u, v] : edges) {
+    if (u == v) return false;
+    if (!seen.insert(edge_key(u, v)).second) return false;
+  }
+  return true;
+}
+
+/// Degree-preserving switch repair: replaces loops/duplicate edges by
+/// swapping endpoints with randomly chosen good edges. Returns false if the
+/// repair stalls (caller restarts with a fresh pairing).
+bool repair_pairing(std::vector<std::pair<Vertex, Vertex>>& edges, Rng& rng) {
+  std::unordered_set<std::uint64_t> good;
+  good.reserve(edges.size() * 2);
+  std::vector<std::size_t> bad;
+  // is_bad marks the edge *slots* that are loops or surplus duplicate
+  // copies. A duplicate's canonical key IS in `good` (via its twin), so key
+  // membership alone cannot identify a safe swap partner.
+  std::vector<char> is_bad(edges.size(), 0);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const auto& [u, v] = edges[i];
+    if (u == v || !good.insert(edge_key(u, v)).second) {
+      bad.push_back(i);
+      is_bad[i] = 1;
+    }
+  }
+  std::size_t failures = 0;
+  const std::size_t failure_cap = 200 * (bad.size() + 1);
+  while (!bad.empty()) {
+    if (failures > failure_cap) return false;
+    const std::size_t i = bad.back();
+    auto [u, v] = edges[i];
+    const std::size_t j =
+        static_cast<std::size_t>(rng.next_below(edges.size()));
+    // Only swap against currently-good slots: a bad slot either is a loop
+    // or shares its key with a good twin, and swapping with it would
+    // corrupt the key bookkeeping.
+    if (j == i || is_bad[j]) {
+      ++failures;
+      continue;
+    }
+    auto [a, b] = edges[j];
+    if (rng.bernoulli(0.5)) std::swap(a, b);
+    const Vertex n1u = u, n1v = a, n2u = v, n2v = b;
+    if (n1u == n1v || n2u == n2v) {
+      ++failures;
+      continue;
+    }
+    const std::uint64_t k1 = edge_key(n1u, n1v);
+    const std::uint64_t k2 = edge_key(n2u, n2v);
+    if (k1 == k2 || good.count(k1) != 0 || good.count(k2) != 0) {
+      ++failures;
+      continue;
+    }
+    good.erase(edge_key(edges[j].first, edges[j].second));
+    edges[i] = {n1u, n1v};
+    edges[j] = {n2u, n2v};
+    good.insert(k1);
+    good.insert(k2);
+    is_bad[i] = 0;
+    bad.pop_back();
+  }
+  return true;
+}
+
+}  // namespace
+
+Graph random_regular(std::size_t n, std::size_t r, Rng& rng) {
+  if (r >= n) throw std::invalid_argument("random_regular requires r < n");
+  if ((n * r) % 2 != 0) {
+    throw std::invalid_argument("random_regular requires n*r even");
+  }
+  const std::string name = "random_regular(n=" + std::to_string(n) +
+                           ",r=" + std::to_string(r) + ")";
+  if (r == 0) return GraphBuilder(n).build(name);
+  if (r == n - 1) return complete(n);  // only one (n-1)-regular graph
+
+  // For small r the probability that a pairing is already simple is a
+  // constant (about exp(-(r*r-1)/4)), so rejection sampling gives the
+  // exactly-uniform distribution cheaply. For larger r we fall back to
+  // switch repair after a few failed rejections.
+  const int rejection_budget = (r <= 6) ? 256 : 4;
+  for (int attempt = 0; attempt < rejection_budget; ++attempt) {
+    auto edges = random_pairing(n, r, rng);
+    if (!pairing_is_simple(edges)) continue;
+    GraphBuilder builder(n);
+    for (const auto& [u, v] : edges) builder.add_edge(u, v);
+    return builder.build(name);
+  }
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    auto edges = random_pairing(n, r, rng);
+    if (!repair_pairing(edges, rng)) continue;
+    GraphBuilder builder(n);
+    for (const auto& [u, v] : edges) builder.add_edge(u, v);
+    return builder.build(name);
+  }
+  throw std::runtime_error("random_regular: switch repair failed to converge");
+}
+
+Graph connected_random_regular(std::size_t n, std::size_t r, Rng& rng,
+                               int max_attempts) {
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    Graph g = random_regular(n, r, rng);
+    if (is_connected(g)) return g;
+  }
+  throw std::runtime_error(
+      "connected_random_regular: no connected sample in " +
+      std::to_string(max_attempts) + " attempts (r=" + std::to_string(r) +
+      " too small?)");
+}
+
+Graph erdos_renyi(std::size_t n, double p, Rng& rng) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("erdos_renyi requires p in [0,1]");
+  }
+  GraphBuilder builder(n);
+  const std::string name =
+      "erdos_renyi(n=" + std::to_string(n) + ",p=" + std::to_string(p) + ")";
+  if (n < 2 || p == 0.0) return builder.build(name);
+  if (p == 1.0) return complete(n);
+
+  // Geometric skipping (Batagelj-Brandes): enumerate the n*(n-1)/2 pairs in
+  // row-major order, jumping Geometric(p) positions between successes.
+  const double log_q = std::log1p(-p);
+  std::uint64_t v = 1;
+  std::int64_t w = -1;
+  const auto nn = static_cast<std::uint64_t>(n);
+  while (v < nn) {
+    const double u01 = 1.0 - rng.next_double();
+    w += 1 + static_cast<std::int64_t>(std::floor(std::log(u01) / log_q));
+    while (w >= static_cast<std::int64_t>(v) && v < nn) {
+      w -= static_cast<std::int64_t>(v);
+      ++v;
+    }
+    if (v < nn) {
+      builder.add_edge(static_cast<Vertex>(w), static_cast<Vertex>(v));
+    }
+  }
+  return builder.build(name);
+}
+
+Graph watts_strogatz(std::size_t n, std::size_t k, double beta, Rng& rng) {
+  if (k % 2 != 0 || k < 2) {
+    throw std::invalid_argument("watts_strogatz requires even k >= 2");
+  }
+  if (k >= n) throw std::invalid_argument("watts_strogatz requires k < n");
+  if (beta < 0.0 || beta > 1.0) {
+    throw std::invalid_argument("watts_strogatz requires beta in [0,1]");
+  }
+  std::unordered_set<std::uint64_t> present;
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  edges.reserve(n * k / 2);
+  for (Vertex v = 0; v < n; ++v) {
+    for (std::size_t s = 1; s <= k / 2; ++s) {
+      const auto w = static_cast<Vertex>((v + s) % n);
+      edges.emplace_back(v, w);
+      present.insert(edge_key(v, w));
+    }
+  }
+  for (auto& [u, w] : edges) {
+    if (!rng.bernoulli(beta)) continue;
+    // Rewire the far endpoint; skip if u is already adjacent to everyone.
+    for (int tries = 0; tries < 64; ++tries) {
+      const auto candidate = static_cast<Vertex>(rng.next_below(n));
+      if (candidate == u || candidate == w) continue;
+      const std::uint64_t key = edge_key(u, candidate);
+      if (present.count(key) != 0) continue;
+      present.erase(edge_key(u, w));
+      present.insert(key);
+      w = candidate;
+      break;
+    }
+  }
+  GraphBuilder builder(n);
+  for (const auto& [u, w] : edges) builder.add_edge(u, w);
+  return builder.build("watts_strogatz(n=" + std::to_string(n) +
+                       ",k=" + std::to_string(k) +
+                       ",beta=" + std::to_string(beta) + ")");
+}
+
+Graph random_geometric(std::size_t n, double radius, Rng& rng) {
+  if (radius <= 0.0 || radius >= 0.5) {
+    throw std::invalid_argument(
+        "random_geometric requires radius in (0, 0.5) (torus metric)");
+  }
+  std::vector<double> xs(n);
+  std::vector<double> ys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = rng.next_double();
+    ys[i] = rng.next_double();
+  }
+  // Bucket the unit torus into cells of side >= radius; only neighbouring
+  // cells can contain an edge partner.
+  const auto cells =
+      std::max<std::size_t>(1, static_cast<std::size_t>(1.0 / radius));
+  const double cell_size = 1.0 / static_cast<double>(cells);
+  std::vector<std::vector<Vertex>> buckets(cells * cells);
+  const auto cell_of = [&](double x, double y) {
+    auto cx = static_cast<std::size_t>(x / cell_size);
+    auto cy = static_cast<std::size_t>(y / cell_size);
+    cx = std::min(cx, cells - 1);
+    cy = std::min(cy, cells - 1);
+    return cx * cells + cy;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    buckets[cell_of(xs[i], ys[i])].push_back(static_cast<Vertex>(i));
+  }
+  const auto torus_dist2 = [&](std::size_t i, std::size_t j) {
+    double dx = std::fabs(xs[i] - xs[j]);
+    double dy = std::fabs(ys[i] - ys[j]);
+    dx = std::min(dx, 1.0 - dx);
+    dy = std::min(dy, 1.0 - dy);
+    return dx * dx + dy * dy;
+  };
+  GraphBuilder builder(n);
+  const double r2 = radius * radius;
+  for (std::size_t cx = 0; cx < cells; ++cx) {
+    for (std::size_t cy = 0; cy < cells; ++cy) {
+      const auto& here = buckets[cx * cells + cy];
+      // Same-cell pairs.
+      for (std::size_t a = 0; a < here.size(); ++a) {
+        for (std::size_t b = a + 1; b < here.size(); ++b) {
+          if (torus_dist2(here[a], here[b]) <= r2) {
+            builder.add_edge(here[a], here[b]);
+          }
+        }
+      }
+      // Half of the 8 neighbouring cells (forward wrap) to see each pair
+      // of cells exactly once.
+      const std::ptrdiff_t offsets[4][2] = {{1, 0}, {0, 1}, {1, 1}, {1, -1}};
+      for (const auto& offset : offsets) {
+        const std::size_t ox = (cx + static_cast<std::size_t>(
+                                         offset[0] + static_cast<std::ptrdiff_t>(cells))) %
+                               cells;
+        const std::size_t oy = (cy + static_cast<std::size_t>(
+                                         offset[1] + static_cast<std::ptrdiff_t>(cells))) %
+                               cells;
+        if (ox == cx && oy == cy) continue;  // tiny grids wrap onto self
+        const auto& there = buckets[ox * cells + oy];
+        for (const Vertex a : here) {
+          for (const Vertex b : there) {
+            if (torus_dist2(a, b) <= r2) builder.add_edge(a, b);
+          }
+        }
+      }
+    }
+  }
+  // Tiny grids (cells <= 2) can queue a cross-cell pair twice via wraps;
+  // dedup keeps the generator total.
+  return builder.build_dedup("random_geometric(n=" + std::to_string(n) +
+                             ",r=" + std::to_string(radius) + ")");
+}
+
+Graph barabasi_albert(std::size_t n, std::size_t attach, Rng& rng) {
+  if (attach == 0 || n < attach + 1) {
+    throw std::invalid_argument("barabasi_albert requires 1 <= attach < n");
+  }
+  GraphBuilder builder(n);
+  // Repeated-endpoint list: vertex v appears deg(v) times; sampling a
+  // uniform entry is sampling proportional to degree.
+  std::vector<Vertex> endpoints;
+  for (Vertex u = 0; u <= attach; ++u) {
+    for (Vertex v = u + 1; v <= attach; ++v) {
+      builder.add_edge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  std::vector<Vertex> chosen;
+  for (Vertex v = static_cast<Vertex>(attach + 1); v < n; ++v) {
+    chosen.clear();
+    while (chosen.size() < attach) {
+      const Vertex candidate = endpoints[static_cast<std::size_t>(
+          rng.next_below(endpoints.size()))];
+      if (std::find(chosen.begin(), chosen.end(), candidate) == chosen.end()) {
+        chosen.push_back(candidate);
+      }
+    }
+    for (const Vertex target : chosen) {
+      builder.add_edge(v, target);
+      endpoints.push_back(v);
+      endpoints.push_back(target);
+    }
+  }
+  return builder.build("barabasi_albert(n=" + std::to_string(n) +
+                       ",m=" + std::to_string(attach) + ")");
+}
+
+}  // namespace cobra::gen

@@ -1,0 +1,38 @@
+// SPDX-License-Identifier: MIT
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace cobra {
+
+Graph::Graph(std::vector<std::size_t> offsets, std::vector<Vertex> adjacency,
+             std::string name)
+    : offsets_(std::move(offsets)),
+      adjacency_(std::move(adjacency)),
+      name_(std::move(name)),
+      num_vertices_(offsets_.empty() ? 0 : offsets_.size() - 1) {
+  if (num_vertices_ == 0) {
+    min_degree_ = max_degree_ = 0;
+    regularity_ = -1;
+    return;
+  }
+  min_degree_ = std::numeric_limits<std::size_t>::max();
+  max_degree_ = 0;
+  for (Vertex v = 0; v < num_vertices_; ++v) {
+    const std::size_t d = offsets_[v + 1] - offsets_[v];
+    min_degree_ = std::min(min_degree_, d);
+    max_degree_ = std::max(max_degree_, d);
+  }
+  regularity_ = (min_degree_ == max_degree_)
+                    ? static_cast<int>(min_degree_)
+                    : -1;
+}
+
+bool Graph::has_edge(Vertex u, Vertex v) const noexcept {
+  if (u >= num_vertices_ || v >= num_vertices_) return false;
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+}  // namespace cobra

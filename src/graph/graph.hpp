@@ -1,0 +1,92 @@
+// SPDX-License-Identifier: MIT
+//
+// Immutable undirected graph in compressed-sparse-row (CSR) form.
+//
+// This is the substrate every other subsystem runs on: the COBRA/BIPS
+// engines sample uniform neighbours (O(1) via neighbors(v)[i]); the
+// spectral module does mat-vec sweeps over the adjacency; the generators
+// construct instances through GraphBuilder (builder.hpp).
+//
+// Design choices:
+//  * Vertices are dense uint32_t ids [0, n). 4 bytes/endpoint keeps large
+//    sweeps cache-friendly; n up to ~4e9 is far beyond experiment scale.
+//  * The structure is immutable after construction (value semantics,
+//    cheap moves). Processes keep their mutable state outside the graph.
+//  * Multi-edges and self-loops are rejected at build time: the paper's
+//    processes are defined on simple graphs, and "select k neighbours
+//    uniformly" is only unambiguous when the neighbourhood is a set.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cobra {
+
+using Vertex = std::uint32_t;
+
+class Graph {
+ public:
+  /// Empty graph (0 vertices). Mostly useful as a placeholder target.
+  Graph() = default;
+
+  /// Constructs from CSR arrays. offsets.size() == n+1,
+  /// adjacency.size() == offsets[n] == 2m, neighbour lists sorted.
+  /// Validation of these invariants lives in GraphBuilder; this constructor
+  /// trusts its inputs and is intended to be called via the builder.
+  Graph(std::vector<std::size_t> offsets, std::vector<Vertex> adjacency,
+        std::string name);
+
+  std::size_t num_vertices() const noexcept { return num_vertices_; }
+
+  /// Number of undirected edges m (adjacency stores 2m endpoints).
+  std::size_t num_edges() const noexcept { return adjacency_.size() / 2; }
+
+  std::size_t degree(Vertex v) const noexcept {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Sorted neighbour list of v.
+  std::span<const Vertex> neighbors(Vertex v) const noexcept {
+    return {adjacency_.data() + offsets_[v], degree(v)};
+  }
+
+  /// The i-th neighbour of v (0 <= i < degree(v)); the process engines'
+  /// "choose a uniform neighbour" is neighbor(v, rng.next_below(degree)).
+  Vertex neighbor(Vertex v, std::size_t i) const noexcept {
+    return adjacency_[offsets_[v] + i];
+  }
+
+  /// True if {u, v} is an edge. O(log degree) binary search.
+  bool has_edge(Vertex u, Vertex v) const noexcept;
+
+  /// True if every vertex has the same degree.
+  bool is_regular() const noexcept { return regularity_ >= 0; }
+
+  /// Common degree r for regular graphs, -1 otherwise.
+  int regularity() const noexcept { return regularity_; }
+
+  std::size_t min_degree() const noexcept { return min_degree_; }
+  std::size_t max_degree() const noexcept { return max_degree_; }
+
+  /// Human-readable family name assigned by the generator (e.g.
+  /// "random_regular(n=1024,r=8)"); used in experiment tables.
+  const std::string& name() const noexcept { return name_; }
+
+  /// Raw CSR access for the spectral kernels.
+  std::span<const std::size_t> offsets() const noexcept { return offsets_; }
+  std::span<const Vertex> adjacency() const noexcept { return adjacency_; }
+
+ private:
+  std::vector<std::size_t> offsets_{0};
+  std::vector<Vertex> adjacency_;
+  std::string name_ = "empty";
+  std::size_t num_vertices_ = 0;
+  std::size_t min_degree_ = 0;
+  std::size_t max_degree_ = 0;
+  int regularity_ = -1;
+};
+
+}  // namespace cobra

@@ -1,0 +1,68 @@
+// SPDX-License-Identifier: MIT
+#include "graph/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+
+namespace cobra {
+
+void write_edge_list(const Graph& g, std::ostream& os) {
+  os << "# cobra edge list: " << g.name() << "\n";
+  os << "n " << g.num_vertices() << "\n";
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    for (const Vertex w : g.neighbors(v)) {
+      if (v < w) os << v << ' ' << w << '\n';
+    }
+  }
+}
+
+Graph read_edge_list(std::istream& is, std::string name) {
+  std::string line;
+  std::size_t n = 0;
+  bool have_header = false;
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    if (!have_header) {
+      std::string tag;
+      if (!(ss >> tag >> n) || tag != "n") {
+        throw std::invalid_argument("edge list line " + std::to_string(line_no) +
+                                    ": expected header 'n <count>'");
+      }
+      have_header = true;
+      continue;
+    }
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    if (!(ss >> u >> v)) {
+      throw std::invalid_argument("edge list line " + std::to_string(line_no) +
+                                  ": expected '<u> <v>'");
+    }
+    edges.emplace_back(static_cast<Vertex>(u), static_cast<Vertex>(v));
+  }
+  if (!have_header) {
+    throw std::invalid_argument("edge list: missing 'n <count>' header");
+  }
+  GraphBuilder builder(n);
+  for (const auto& [u, v] : edges) builder.add_edge(u, v);
+  return builder.build(std::move(name));
+}
+
+void write_dot(const Graph& g, std::ostream& os) {
+  os << "graph \"" << g.name() << "\" {\n";
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    for (const Vertex w : g.neighbors(v)) {
+      if (v < w) os << "  " << v << " -- " << w << ";\n";
+    }
+  }
+  os << "}\n";
+}
+
+}  // namespace cobra

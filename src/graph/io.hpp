@@ -1,0 +1,29 @@
+// SPDX-License-Identifier: MIT
+//
+// Graph serialization: a plain edge-list text format (round-trippable) and
+// Graphviz DOT export for visual inspection of small instances.
+//
+// Edge-list format:
+//   # comment lines allowed
+//   n <num_vertices>
+//   <u> <v>          (one undirected edge per line, 0-based ids)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace cobra {
+
+/// Writes the edge-list format described above.
+void write_edge_list(const Graph& g, std::ostream& os);
+
+/// Parses the edge-list format; throws std::invalid_argument on malformed
+/// input (missing header, out-of-range ids, self-loops, duplicates).
+Graph read_edge_list(std::istream& is, std::string name = "from_edge_list");
+
+/// Graphviz DOT (undirected) for small-graph visualisation.
+void write_dot(const Graph& g, std::ostream& os);
+
+}  // namespace cobra

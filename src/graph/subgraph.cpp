@@ -1,0 +1,83 @@
+// SPDX-License-Identifier: MIT
+#include "graph/subgraph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+
+namespace cobra {
+
+Graph induced_subgraph(const Graph& g, std::span<const Vertex> vertices,
+                       std::vector<Vertex>* old_ids) {
+  std::vector<Vertex> selected(vertices.begin(), vertices.end());
+  std::sort(selected.begin(), selected.end());
+  selected.erase(std::unique(selected.begin(), selected.end()),
+                 selected.end());
+  for (const Vertex v : selected) {
+    if (v >= g.num_vertices()) {
+      throw std::invalid_argument("induced_subgraph: vertex out of range");
+    }
+  }
+  constexpr Vertex kAbsent = static_cast<Vertex>(-1);
+  std::vector<Vertex> new_id(g.num_vertices(), kAbsent);
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    new_id[selected[i]] = static_cast<Vertex>(i);
+  }
+  GraphBuilder builder(selected.size());
+  for (const Vertex v : selected) {
+    for (const Vertex w : g.neighbors(v)) {
+      if (v < w && new_id[w] != kAbsent) {
+        builder.add_edge(new_id[v], new_id[w]);
+      }
+    }
+  }
+  if (old_ids != nullptr) *old_ids = std::move(selected);
+  return builder.build(g.name() + "|induced");
+}
+
+std::vector<std::uint32_t> component_ids(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  constexpr std::uint32_t kUnseen = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint32_t> ids(n, kUnseen);
+  std::uint32_t next_id = 0;
+  std::vector<Vertex> stack;
+  for (Vertex start = 0; start < n; ++start) {
+    if (ids[start] != kUnseen) continue;
+    ids[start] = next_id;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const Vertex v = stack.back();
+      stack.pop_back();
+      for (const Vertex w : g.neighbors(v)) {
+        if (ids[w] == kUnseen) {
+          ids[w] = next_id;
+          stack.push_back(w);
+        }
+      }
+    }
+    ++next_id;
+  }
+  return ids;
+}
+
+Graph largest_component(const Graph& g, std::vector<Vertex>* old_ids) {
+  if (g.num_vertices() == 0) {
+    throw std::invalid_argument("largest_component of an empty graph");
+  }
+  const auto ids = component_ids(g);
+  const std::uint32_t num_components =
+      *std::max_element(ids.begin(), ids.end()) + 1;
+  std::vector<std::size_t> sizes(num_components, 0);
+  for (const std::uint32_t id : ids) ++sizes[id];
+  const auto best = static_cast<std::uint32_t>(std::distance(
+      sizes.begin(), std::max_element(sizes.begin(), sizes.end())));
+  std::vector<Vertex> members;
+  members.reserve(sizes[best]);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (ids[v] == best) members.push_back(v);
+  }
+  return induced_subgraph(g, members, old_ids);
+}
+
+}  // namespace cobra

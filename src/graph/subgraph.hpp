@@ -1,0 +1,29 @@
+// SPDX-License-Identifier: MIT
+//
+// Induced subgraphs and component extraction. Random graphs at constant
+// average degree (G(n,p), the E15 workload) are connected only after
+// discarding small components; these helpers make that a first-class
+// operation instead of a retry loop.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace cobra {
+
+/// The subgraph induced by `vertices` (deduplicated). Vertices are
+/// renumbered 0..k-1 in the sorted order of the input; the mapping is
+/// returned through `old_ids` if non-null (old_ids[new] = old).
+Graph induced_subgraph(const Graph& g, std::span<const Vertex> vertices,
+                       std::vector<Vertex>* old_ids = nullptr);
+
+/// The largest connected component of g (ties broken by lowest vertex id).
+/// old_ids as above.
+Graph largest_component(const Graph& g, std::vector<Vertex>* old_ids = nullptr);
+
+/// Component id (0-based, in discovery order) for every vertex.
+std::vector<std::uint32_t> component_ids(const Graph& g);
+
+}  // namespace cobra

@@ -1,0 +1,22 @@
+// SPDX-License-Identifier: MIT
+//
+// Synchronous flooding: every informed vertex forwards to ALL neighbours
+// every round. Completes in exactly eccentricity(start) rounds — the
+// round-count lower bound for any single-source dissemination — at the
+// cost of Theta(m) messages per round. The message-budget extreme opposite
+// of COBRA in experiment E12.
+#pragma once
+
+#include "core/process_common.hpp"
+#include "graph/graph.hpp"
+
+namespace cobra {
+
+struct FloodOptions {
+  std::size_t max_rounds = 1u << 20;
+};
+
+/// Deterministic; no RNG needed.
+SpreadResult run_flood(const Graph& g, Vertex start, FloodOptions options);
+
+}  // namespace cobra

@@ -1,0 +1,55 @@
+// SPDX-License-Identifier: MIT
+#include "protocols/pull.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace cobra {
+
+SpreadResult run_pull(const Graph& g, Vertex start, PullOptions options,
+                      Rng& rng) {
+  const std::size_t n = g.num_vertices();
+  if (n == 0) throw std::invalid_argument("run_pull requires a non-empty graph");
+  if (start >= n) throw std::invalid_argument("pull start out of range");
+  if (g.min_degree() == 0) {
+    throw std::invalid_argument("run_pull requires min degree >= 1");
+  }
+
+  std::vector<char> informed(n, 0);
+  informed[start] = 1;
+  std::size_t count = 1;
+
+  SpreadResult result;
+  result.curve.push_back(count);
+  std::size_t round = 0;
+  while (count < n && round < options.max_rounds) {
+    std::size_t contacts = 0;
+    std::size_t new_informed = 0;
+    // Synchronous: pulls read the start-of-round state; since informed
+    // vertices never revert, evaluating in place is equivalent.
+    for (Vertex v = 0; v < n; ++v) {
+      if (informed[v]) continue;
+      ++contacts;
+      const Vertex w = g.neighbor(
+          v, static_cast<std::size_t>(rng.next_below(g.degree(v))));
+      if (informed[w] == 1) {  // == 1: only start-of-round informed count
+        informed[v] = 2;       // mark for activation after the sweep
+        ++new_informed;
+      }
+    }
+    for (Vertex v = 0; v < n; ++v) {
+      if (informed[v] == 2) informed[v] = 1;
+    }
+    count += new_informed;
+    result.total_transmissions += contacts;
+    result.peak_vertex_round_transmissions = 1;
+    ++round;
+    result.curve.push_back(count);
+  }
+  result.completed = count == n;
+  result.rounds = round;
+  result.final_count = count;
+  return result;
+}
+
+}  // namespace cobra

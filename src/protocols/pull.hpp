@@ -1,0 +1,24 @@
+// SPDX-License-Identifier: MIT
+//
+// Pull-only rumour spreading: each round every UNINFORMED vertex contacts
+// one uniform neighbour and becomes informed iff that neighbour is
+// informed. The mirror image of push — and structurally the closest
+// classical protocol to BIPS (BIPS is "pull with k samples, re-sampled
+// membership, and a persistent source"). Completes the protocol matrix of
+// experiment E12.
+#pragma once
+
+#include "core/process_common.hpp"
+#include "graph/graph.hpp"
+#include "rand/rng.hpp"
+
+namespace cobra {
+
+struct PullOptions {
+  std::size_t max_rounds = 1u << 20;
+};
+
+SpreadResult run_pull(const Graph& g, Vertex start, PullOptions options,
+                      Rng& rng);
+
+}  // namespace cobra

@@ -1,0 +1,26 @@
+// SPDX-License-Identifier: MIT
+//
+// Classic synchronous push rumour spreading: every *informed* vertex pushes
+// to one uniform neighbour each round and stays informed forever. The
+// paper's introduction positions COBRA against this protocol: push covers
+// expanders in O(log n) rounds but its per-round message count grows to n,
+// while COBRA caps transmissions at k per active vertex and deactivates
+// senders. Experiment E12 quantifies the message-budget difference.
+#pragma once
+
+#include "core/process_common.hpp"
+#include "graph/graph.hpp"
+#include "rand/rng.hpp"
+
+namespace cobra {
+
+struct PushOptions {
+  std::size_t max_rounds = 1u << 20;
+};
+
+/// Runs push until all informed (or max_rounds). curve[t] = informed count
+/// at end of round t; transmissions per round = current informed count.
+SpreadResult run_push(const Graph& g, Vertex start, PushOptions options,
+                      Rng& rng);
+
+}  // namespace cobra

@@ -1,0 +1,23 @@
+// SPDX-License-Identifier: MIT
+//
+// Push-pull rumour spreading (Karp et al.): each round every informed
+// vertex pushes to a uniform neighbour AND every uninformed vertex pulls
+// from a uniform neighbour (becoming informed if the contacted neighbour
+// is informed). The strongest classical baseline; always n contacts per
+// round. Used in experiment E12.
+#pragma once
+
+#include "core/process_common.hpp"
+#include "graph/graph.hpp"
+#include "rand/rng.hpp"
+
+namespace cobra {
+
+struct PushPullOptions {
+  std::size_t max_rounds = 1u << 20;
+};
+
+SpreadResult run_push_pull(const Graph& g, Vertex start,
+                           PushPullOptions options, Rng& rng);
+
+}  // namespace cobra

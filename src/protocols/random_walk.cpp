@@ -1,0 +1,66 @@
+// SPDX-License-Identifier: MIT
+#include "protocols/random_walk.hpp"
+
+#include <stdexcept>
+
+namespace cobra {
+
+RandomWalk::RandomWalk(const Graph& g, Vertex start)
+    : graph_(&g), position_(start), first_visit_(g.num_vertices(), kRoundNever) {
+  if (g.num_vertices() == 0) {
+    throw std::invalid_argument("RandomWalk requires a non-empty graph");
+  }
+  if (start >= g.num_vertices()) {
+    throw std::invalid_argument("RandomWalk start out of range");
+  }
+  if (g.min_degree() == 0) {
+    throw std::invalid_argument("RandomWalk requires min degree >= 1");
+  }
+  first_visit_[start] = 0;
+}
+
+Vertex RandomWalk::step(Rng& rng) {
+  const auto degree = graph_->degree(position_);
+  position_ = graph_->neighbor(
+      position_, static_cast<std::size_t>(rng.next_below(degree)));
+  ++steps_;
+  if (first_visit_[position_] == kRoundNever) {
+    first_visit_[position_] = static_cast<Round>(steps_);
+    ++visited_count_;
+  }
+  return position_;
+}
+
+SpreadResult run_walk_cover(const Graph& g, Vertex start,
+                            RandomWalkOptions options, Rng& rng) {
+  RandomWalk walk(g, start);
+  SpreadResult result;
+  result.curve.push_back(0);  // first distinct visit (the start) at step 0
+  while (!walk.covered() && walk.steps() < options.max_steps) {
+    const std::size_t before = walk.visited_count();
+    walk.step(rng);
+    if (walk.visited_count() > before) {
+      result.curve.push_back(walk.steps());
+    }
+  }
+  result.completed = walk.covered();
+  result.rounds = walk.steps();
+  result.final_count = walk.visited_count();
+  result.total_transmissions = walk.steps();  // one token move per step
+  result.peak_vertex_round_transmissions = 1;
+  return result;
+}
+
+std::optional<std::size_t> walk_hitting_time(const Graph& g, Vertex start,
+                                             Vertex target,
+                                             RandomWalkOptions options,
+                                             Rng& rng) {
+  RandomWalk walk(g, start);
+  if (start == target) return 0;
+  while (walk.steps() < options.max_steps) {
+    if (walk.step(rng) == target) return walk.steps();
+  }
+  return std::nullopt;
+}
+
+}  // namespace cobra

@@ -1,0 +1,63 @@
+// SPDX-License-Identifier: MIT
+//
+// Simple random walk — the k = 1 degenerate case of COBRA. Cover time is
+// Omega(n log n) on every graph (Feige), which is the paper's argument
+// that k = 1 branching is "not enough"; experiment E11 measures the
+// separation against k = 2.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/process_common.hpp"
+#include "graph/graph.hpp"
+#include "rand/rng.hpp"
+
+namespace cobra {
+
+class RandomWalk {
+ public:
+  /// Walk starting at `start`; requires min degree >= 1.
+  RandomWalk(const Graph& g, Vertex start);
+
+  /// Moves one step; returns the new position. The neighbour draw is
+  /// g.neighbor(v, rng.next_below(degree)) — intentionally identical to
+  /// CobraProcess's draw so that a k=1 COBRA and a RandomWalk given equal
+  /// RNG states produce the same trajectory (tested).
+  Vertex step(Rng& rng);
+
+  Vertex position() const noexcept { return position_; }
+  std::size_t steps() const noexcept { return steps_; }
+  std::size_t visited_count() const noexcept { return visited_count_; }
+  bool covered() const noexcept {
+    return visited_count_ == graph_->num_vertices();
+  }
+  const std::vector<Round>& first_visit_step() const noexcept {
+    return first_visit_;
+  }
+
+ private:
+  const Graph* graph_;
+  Vertex position_;
+  std::size_t steps_ = 0;
+  std::size_t visited_count_ = 1;
+  std::vector<Round> first_visit_;
+};
+
+struct RandomWalkOptions {
+  std::size_t max_steps = 1u << 28;
+};
+
+/// Walks until every vertex is visited (or max_steps); SpreadResult.rounds
+/// is the cover time in *steps*. curve is sampled only at visit events to
+/// keep memory bounded: curve[i] = step of the i-th distinct visit.
+SpreadResult run_walk_cover(const Graph& g, Vertex start,
+                            RandomWalkOptions options, Rng& rng);
+
+/// Steps until `target` is reached; nullopt if not within max_steps.
+std::optional<std::size_t> walk_hitting_time(const Graph& g, Vertex start,
+                                             Vertex target,
+                                             RandomWalkOptions options,
+                                             Rng& rng);
+
+}  // namespace cobra

@@ -1,0 +1,61 @@
+// SPDX-License-Identifier: MIT
+#include "rand/sampling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace cobra {
+
+std::vector<std::uint32_t> random_permutation(std::size_t n, Rng& rng) {
+  std::vector<std::uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  shuffle(std::span<std::uint32_t>(perm), rng);
+  return perm;
+}
+
+std::vector<std::uint64_t> sample_without_replacement(std::uint64_t n,
+                                                      std::size_t k,
+                                                      Rng& rng) {
+  // Floyd's algorithm: for j = n-k .. n-1, draw t in [0, j]; insert t if
+  // unseen, else insert j. Gives a uniform k-subset with exactly k draws.
+  std::vector<std::uint64_t> out;
+  out.reserve(k);
+  for (std::uint64_t j = n - k; j < n; ++j) {
+    const std::uint64_t t = rng.next_below(j + 1);
+    if (std::find(out.begin(), out.end(), t) == out.end()) {
+      out.push_back(t);
+    } else {
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> sample_with_replacement(std::uint64_t n,
+                                                   std::size_t k, Rng& rng) {
+  std::vector<std::uint64_t> out(k);
+  for (auto& value : out) value = rng.next_below(n);
+  return out;
+}
+
+std::uint64_t binomial(std::uint64_t n, double p, Rng& rng) {
+  if (p <= 0.0 || n == 0) return 0;
+  if (p >= 1.0) return n;
+  // Symmetry: sample the smaller tail.
+  if (p > 0.5) return n - binomial(n, 1.0 - p, rng);
+  // Waiting-time method: the gap between successes is Geometric(p); skip
+  // through [0, n) in expected np + 1 iterations.
+  const double log_q = std::log1p(-p);
+  std::uint64_t count = 0;
+  double position = 0.0;
+  while (true) {
+    const double u = 1.0 - rng.next_double();  // u in (0, 1]
+    position += std::floor(std::log(u) / log_q) + 1.0;
+    if (position > static_cast<double>(n)) break;
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace cobra

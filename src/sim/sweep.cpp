@@ -1,0 +1,53 @@
+// SPDX-License-Identifier: MIT
+#include "sim/sweep.hpp"
+
+#include <vector>
+
+namespace cobra {
+
+SpreadMeasurement measure_spread(
+    const Graph& g, const TrialOptions& trials,
+    const std::function<SpreadResult(Vertex, Rng&)>& run) {
+  const std::size_t n = g.num_vertices();
+  const auto results = run_trials_collect<SpreadResult>(
+      trials, [&](std::size_t i, Rng& rng) {
+        const auto start = static_cast<Vertex>(i % n);
+        return run(start, rng);
+      });
+  SpreadMeasurement measurement;
+  std::vector<double> rounds;
+  std::vector<double> transmissions;
+  rounds.reserve(results.size());
+  transmissions.reserve(results.size());
+  for (const auto& result : results) {
+    if (!result.completed) {
+      ++measurement.failed;
+      continue;
+    }
+    rounds.push_back(static_cast<double>(result.rounds));
+    transmissions.push_back(static_cast<double>(result.total_transmissions));
+  }
+  if (!rounds.empty()) {
+    measurement.rounds = summarize(rounds);
+    measurement.transmissions = summarize(transmissions);
+  }
+  return measurement;
+}
+
+SpreadMeasurement measure_cobra(const Graph& g, const CobraOptions& options,
+                                const TrialOptions& trials) {
+  return measure_spread(g, trials, [&](Vertex start, Rng& rng) {
+    CobraOptions local = options;
+    local.record_curves = true;  // needed for transmission accounting
+    return run_cobra_cover(g, start, local, rng);
+  });
+}
+
+SpreadMeasurement measure_bips(const Graph& g, const BipsOptions& options,
+                               const TrialOptions& trials) {
+  return measure_spread(g, trials, [&](Vertex start, Rng& rng) {
+    return run_bips_infection(g, start, options, rng);
+  });
+}
+
+}  // namespace cobra

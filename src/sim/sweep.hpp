@@ -1,0 +1,43 @@
+// SPDX-License-Identifier: MIT
+//
+// Measurement helpers shared by the experiment binaries: run N trials of a
+// spreading process on one graph and summarize the interesting scalars.
+// Starting vertices rotate deterministically through the graph so the
+// sample approximates max-over-start definitions (COV(G), Infec(G)) on
+// non-transitive instances.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "core/bips.hpp"
+#include "core/cobra.hpp"
+#include "graph/graph.hpp"
+#include "sim/trial_runner.hpp"
+#include "stats/summary.hpp"
+
+namespace cobra {
+
+struct SpreadMeasurement {
+  Summary rounds;          ///< cover/infection rounds over completed trials
+  Summary transmissions;   ///< total messages over completed trials
+  std::size_t failed = 0;  ///< trials that hit max_rounds (excluded above)
+};
+
+/// Cover time of COBRA over `trials.trials` runs; trial i starts at vertex
+/// i % n (vertex-transitive families are start-independent; others get a
+/// rotating sample of starts).
+SpreadMeasurement measure_cobra(const Graph& g, const CobraOptions& options,
+                                const TrialOptions& trials);
+
+/// Infection time of BIPS with the source rotating over vertices.
+SpreadMeasurement measure_bips(const Graph& g, const BipsOptions& options,
+                               const TrialOptions& trials);
+
+/// Generic variant for the baseline protocols: `run` maps (start, rng) to
+/// a SpreadResult.
+SpreadMeasurement measure_spread(
+    const Graph& g, const TrialOptions& trials,
+    const std::function<SpreadResult(Vertex, Rng&)>& run);
+
+}  // namespace cobra

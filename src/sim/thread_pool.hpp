@@ -1,0 +1,54 @@
+// SPDX-License-Identifier: MIT
+//
+// Minimal fixed-size thread pool for embarrassingly parallel Monte Carlo
+// trials. Tasks are void() closures; parallel_for partitions an index
+// range. Determinism note: the trial runner seeds each trial from its
+// *index*, so results are identical whatever thread executes it.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cobra {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 = hardware_concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task. Tasks must not throw — exceptions would cross thread
+  /// boundaries; wrap fallible work and capture errors in the closure.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  /// Runs fn(i) for i in [0, count) across the pool and waits.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace cobra

@@ -1,0 +1,12 @@
+// SPDX-License-Identifier: MIT
+#include "sim/trial_runner.hpp"
+
+namespace cobra {
+
+std::vector<double> run_trials(
+    const TrialOptions& options,
+    const std::function<double(std::size_t, Rng&)>& fn) {
+  return run_trials_collect<double>(options, fn);
+}
+
+}  // namespace cobra

@@ -1,0 +1,49 @@
+// SPDX-License-Identifier: MIT
+//
+// Reproducible Monte Carlo trial execution. Each trial i receives
+// Rng::for_trial(base_seed, i), so results are a pure function of
+// (base_seed, i) — independent of thread count, scheduling, or whether the
+// serial or pooled path ran (tested in tests/sim_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "rand/rng.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace cobra {
+
+struct TrialOptions {
+  std::size_t trials = 100;
+  std::uint64_t base_seed = 0xc0b7a5eedULL;
+  /// 0 = serial; otherwise pool of this many threads.
+  std::size_t threads = 0;
+};
+
+/// Runs fn(trial_index, rng) for each trial, collecting the returned
+/// doubles in trial order.
+std::vector<double> run_trials(const TrialOptions& options,
+                               const std::function<double(std::size_t, Rng&)>& fn);
+
+/// Generic variant collecting arbitrary results (still trial-ordered).
+template <typename R>
+std::vector<R> run_trials_collect(
+    const TrialOptions& options,
+    const std::function<R(std::size_t, Rng&)>& fn) {
+  std::vector<R> results(options.trials);
+  const auto body = [&](std::size_t i) {
+    Rng rng = Rng::for_trial(options.base_seed, i);
+    results[i] = fn(i, rng);
+  };
+  if (options.threads == 0) {
+    for (std::size_t i = 0; i < options.trials; ++i) body(i);
+  } else {
+    ThreadPool pool(options.threads);
+    pool.parallel_for(options.trials, body);
+  }
+  return results;
+}
+
+}  // namespace cobra

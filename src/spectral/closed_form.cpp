@@ -1,0 +1,150 @@
+// SPDX-License-Identifier: MIT
+#include "spectral/closed_form.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace cobra::spectral {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+}
+
+double lambda_complete(std::size_t n) {
+  if (n < 2) throw std::invalid_argument("lambda_complete requires n >= 2");
+  return 1.0 / static_cast<double>(n - 1);
+}
+
+double lambda_cycle(std::size_t n) {
+  if (n < 3) throw std::invalid_argument("lambda_cycle requires n >= 3");
+  if (n % 2 == 0) return 1.0;
+  // |cos(2 pi j / n)| is maximized at j = (n-1)/2: cos(pi - pi/n) = -cos(pi/n).
+  return std::cos(std::numbers::pi / static_cast<double>(n));
+}
+
+double lambda_hypercube(std::size_t d) {
+  if (d < 1) throw std::invalid_argument("lambda_hypercube requires d >= 1");
+  return 1.0;
+}
+
+double lambda_torus(const std::vector<std::size_t>& dims) {
+  if (dims.empty()) throw std::invalid_argument("lambda_torus requires dims");
+  const double d = static_cast<double>(dims.size());
+  // Enumerate all frequency tuples (j_1, ..., j_d), skip the all-zero one.
+  std::vector<std::size_t> j(dims.size(), 0);
+  double best = 0.0;
+  while (true) {
+    // advance mixed-radix counter
+    std::size_t k = dims.size();
+    while (k-- > 0) {
+      if (++j[k] < dims[k]) break;
+      j[k] = 0;
+      if (k == 0) return best;
+    }
+    bool all_zero = true;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < dims.size(); ++i) {
+      if (j[i] != 0) all_zero = false;
+      sum += std::cos(kTwoPi * static_cast<double>(j[i]) /
+                      static_cast<double>(dims[i]));
+    }
+    if (all_zero) continue;
+    best = std::max(best, std::fabs(sum / d));
+  }
+}
+
+double lambda_circulant(std::size_t n,
+                        const std::vector<std::uint32_t>& offsets) {
+  if (n < 3 || offsets.empty()) {
+    throw std::invalid_argument("lambda_circulant requires n >= 3, offsets");
+  }
+  double degree = 0.0;
+  for (const std::uint32_t s : offsets) {
+    degree += (2 * static_cast<std::size_t>(s) == n) ? 1.0 : 2.0;
+  }
+  double best = 0.0;
+  for (std::size_t jj = 1; jj < n; ++jj) {
+    double sum = 0.0;
+    for (const std::uint32_t s : offsets) {
+      const double angle =
+          kTwoPi * static_cast<double>(jj) * static_cast<double>(s) /
+          static_cast<double>(n);
+      const bool matching = (2 * static_cast<std::size_t>(s) == n);
+      sum += (matching ? 1.0 : 2.0) * std::cos(angle);
+    }
+    best = std::max(best, std::fabs(sum / degree));
+  }
+  return best;
+}
+
+double lambda_complete_bipartite() { return 1.0; }
+
+double lambda_paley(std::size_t q) {
+  if (q < 5) throw std::invalid_argument("lambda_paley requires q >= 5");
+  return (std::sqrt(static_cast<double>(q)) + 1.0) /
+         static_cast<double>(q - 1);
+}
+
+double lambda_kneser(std::size_t n_set, std::size_t k_subset) {
+  if (k_subset == 0 || n_set < 2 * k_subset) {
+    throw std::invalid_argument("lambda_kneser requires 1 <= k, n >= 2k");
+  }
+  const auto binom = [](std::size_t n, std::size_t k) -> double {
+    if (k > n) return 0.0;
+    double result = 1.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      result = result * static_cast<double>(n - i) /
+               static_cast<double>(i + 1);
+    }
+    return result;
+  };
+  const double degree = binom(n_set - k_subset, k_subset);
+  double best = 0.0;
+  for (std::size_t i = 1; i <= k_subset; ++i) {
+    best = std::max(best, binom(n_set - k_subset - i, k_subset - i) / degree);
+  }
+  return best;
+}
+
+double lambda_petersen() { return 2.0 / 3.0; }
+
+std::vector<double> spectrum_cycle(std::size_t n) {
+  if (n < 3) throw std::invalid_argument("spectrum_cycle requires n >= 3");
+  std::vector<double> values(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    values[j] = std::cos(kTwoPi * static_cast<double>(j) /
+                         static_cast<double>(n));
+  }
+  std::sort(values.begin(), values.end(), std::greater<>());
+  return values;
+}
+
+std::vector<double> spectrum_complete(std::size_t n) {
+  if (n < 2) throw std::invalid_argument("spectrum_complete requires n >= 2");
+  std::vector<double> values(n, -1.0 / static_cast<double>(n - 1));
+  values[0] = 1.0;
+  return values;
+}
+
+std::vector<double> spectrum_hypercube(std::size_t d) {
+  if (d < 1 || d > 24) {
+    throw std::invalid_argument("spectrum_hypercube requires 1 <= d <= 24");
+  }
+  std::vector<double> values;
+  values.reserve(std::size_t{1} << d);
+  // Eigenvalue 1 - 2i/d has multiplicity binomial(d, i).
+  double binom = 1.0;
+  for (std::size_t i = 0; i <= d; ++i) {
+    const double value =
+        1.0 - 2.0 * static_cast<double>(i) / static_cast<double>(d);
+    const auto count = static_cast<std::size_t>(binom + 0.5);
+    values.insert(values.end(), count, value);
+    binom = binom * static_cast<double>(d - i) / static_cast<double>(i + 1);
+  }
+  std::sort(values.begin(), values.end(), std::greater<>());
+  return values;
+}
+
+}  // namespace cobra::spectral

@@ -1,0 +1,65 @@
+// SPDX-License-Identifier: MIT
+//
+// Closed-form spectra for the classical families. These are analytic
+// facts about the transition matrix P (equivalently N); the test suite
+// checks the numerical solvers against them, and the gap-ladder
+// experiments use them to label series.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace cobra::spectral {
+
+/// lambda (second-largest absolute eigenvalue of P) of K_n: 1/(n-1).
+double lambda_complete(std::size_t n);
+
+/// lambda of the cycle C_n: max_j |cos(2 pi j / n)| over j = 1..n-1.
+/// For even n this is 1 (bipartite, j = n/2). For odd n the extreme is the
+/// *negative* edge of the spectrum at j = (n-1)/2, giving cos(pi / n)
+/// (which exceeds the positive edge cos(2 pi / n)).
+double lambda_cycle(std::size_t n);
+
+/// lambda of the hypercube Q_d: eigenvalues are 1 - 2i/d, so lambda = 1
+/// (bipartite) for every d >= 1.
+double lambda_hypercube(std::size_t d);
+
+/// lambda of the torus with the given side lengths: eigenvalues are
+/// (1/d) sum_i cos(2 pi j_i / n_i); computed by enumerating all tuples.
+double lambda_torus(const std::vector<std::size_t>& dims);
+
+/// lambda of the circulant C_n(S): eigenvalue_j is the normalized sum of
+/// cos terms over the offsets (an offset n/2 contributes cos(pi j) once).
+double lambda_circulant(std::size_t n,
+                        const std::vector<std::uint32_t>& offsets);
+
+/// lambda of the complete bipartite graph K_{a,b}: spectrum {1, 0, -1},
+/// so lambda = 1.
+double lambda_complete_bipartite();
+
+/// lambda of the Petersen graph: adjacency spectrum {3, 1^5, (-2)^4}
+/// gives P spectrum {1, (1/3)^5, (-2/3)^4}, so lambda = 2/3.
+double lambda_petersen();
+
+/// lambda of the Paley graph on q vertices: adjacency eigenvalues are
+/// (q-1)/2 and (-1 +- sqrt(q))/2, so lambda = (sqrt(q)+1)/(q-1).
+double lambda_paley(std::size_t q);
+
+/// lambda of the Kneser graph K(n, k): adjacency eigenvalues are
+/// (-1)^i C(n-k-i, k-i) for i = 0..k; lambda is the largest ratio
+/// |eigenvalue| / C(n-k, k) over i >= 1 (equals k/(n-k) when n >= 2k+1
+/// is moderate; computed exactly here).
+double lambda_kneser(std::size_t n_set, std::size_t k_subset);
+
+/// Full P spectrum of the cycle (descending). For tests of dense solvers.
+std::vector<double> spectrum_cycle(std::size_t n);
+
+/// Full P spectrum of K_n (descending).
+std::vector<double> spectrum_complete(std::size_t n);
+
+/// Full P spectrum of the hypercube Q_d (descending, with multiplicity).
+std::vector<double> spectrum_hypercube(std::size_t d);
+
+}  // namespace cobra::spectral

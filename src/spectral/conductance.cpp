@@ -1,0 +1,126 @@
+// SPDX-License-Identifier: MIT
+#include "spectral/conductance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "rand/rng.hpp"
+#include "spectral/matvec.hpp"
+
+namespace cobra::spectral {
+
+double set_conductance(const Graph& g, const std::vector<char>& in_set) {
+  const std::size_t n = g.num_vertices();
+  if (in_set.size() != n) {
+    throw std::invalid_argument("set_conductance: indicator size mismatch");
+  }
+  std::size_t cut = 0;
+  std::size_t vol_in = 0;
+  std::size_t vol_total = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    vol_total += g.degree(v);
+    if (!in_set[v]) continue;
+    vol_in += g.degree(v);
+    for (const Vertex w : g.neighbors(v)) cut += !in_set[w];
+  }
+  const std::size_t vol_out = vol_total - vol_in;
+  if (vol_in == 0 || vol_out == 0) {
+    throw std::invalid_argument("set_conductance: S and complement must be "
+                                "non-empty with positive volume");
+  }
+  return static_cast<double>(cut) /
+         static_cast<double>(std::min(vol_in, vol_out));
+}
+
+double exact_conductance(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  if (n < 2 || n > 24) {
+    throw std::invalid_argument("exact_conductance supports 2 <= n <= 24");
+  }
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<char> indicator(n, 0);
+  // Fix vertex n-1 outside S to halve the enumeration (h(S) = h(V-S)).
+  const std::size_t limit = std::size_t{1} << (n - 1);
+  for (std::size_t mask = 1; mask < limit; ++mask) {
+    for (Vertex v = 0; v + 1 < n; ++v) {
+      indicator[v] = static_cast<char>((mask >> v) & 1u);
+    }
+    best = std::min(best, set_conductance(g, indicator));
+  }
+  return best;
+}
+
+SweepCutResult sweep_cut(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  if (n < 2) throw std::invalid_argument("sweep_cut requires n >= 2");
+
+  // Deflated power iteration on the PSD shift M = (I + N)/2. Plain
+  // iteration on N converges to the largest-|lambda| eigenvector, which on
+  // near-bipartite graphs is lambda_n's bipartition vector — useless for
+  // Cheeger. M has spectrum (1 + lambda_i)/2 >= 0, so the dominant
+  // non-trivial eigenvector of M is exactly lambda_2's.
+  const std::vector<double> phi1 = stationary_direction(g);
+  std::vector<double> x(n);
+  Rng rng(0x5feedcu);
+  for (double& value : x) value = rng.next_double() - 0.5;
+  deflate(x, phi1);
+  normalize(x);
+  std::vector<double> y(n);
+  for (int iteration = 0; iteration < 2000; ++iteration) {
+    multiply_normalized(g, x, y);
+    for (std::size_t i = 0; i < n; ++i) y[i] = 0.5 * (y[i] + x[i]);
+    deflate(y, phi1);
+    if (normalize(y) == 0.0) break;
+    x.swap(y);
+  }
+
+  // Sweep in the D^{-1/2}-scaled order (for regular graphs this is the
+  // raw eigenvector order).
+  std::vector<Vertex> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::vector<double> score(n);
+  for (Vertex v = 0; v < n; ++v) {
+    score[v] = x[v] / std::sqrt(static_cast<double>(g.degree(v)));
+  }
+  std::sort(order.begin(), order.end(),
+            [&score](Vertex a, Vertex b) { return score[a] < score[b]; });
+
+  // Incremental conductance over prefixes.
+  std::size_t vol_total = 0;
+  for (Vertex v = 0; v < n; ++v) vol_total += g.degree(v);
+  std::vector<char> in_set(n, 0);
+  SweepCutResult best;
+  best.conductance = std::numeric_limits<double>::infinity();
+  std::size_t cut = 0;
+  std::size_t vol_in = 0;
+  std::vector<char> current(n, 0);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const Vertex v = order[i];
+    current[v] = 1;
+    vol_in += g.degree(v);
+    // Adding v flips each (v, w) edge: cut edges to outside increase,
+    // edges to inside stop being cut.
+    for (const Vertex w : g.neighbors(v)) {
+      if (current[w]) {
+        --cut;
+      } else {
+        ++cut;
+      }
+    }
+    const std::size_t vol_out = vol_total - vol_in;
+    if (vol_in == 0 || vol_out == 0) continue;
+    const double phi = static_cast<double>(cut) /
+                       static_cast<double>(std::min(vol_in, vol_out));
+    if (phi < best.conductance) {
+      best.conductance = phi;
+      best.indicator = current;
+      best.set_size = i + 1;
+    }
+  }
+  return best;
+}
+
+}  // namespace cobra::spectral

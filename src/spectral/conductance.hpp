@@ -1,0 +1,41 @@
+// SPDX-License-Identifier: MIT
+//
+// Conductance and sweep cuts. The paper's "expander" hypothesis is
+// spectral (1 - lambda = Omega(1)); Cheeger's inequality ties it to
+// combinatorial expansion:
+//   (1 - lambda_2) / 2  <=  h(G)  <=  sqrt(2 (1 - lambda_2)),
+// where h(G) = min_S cut(S) / min(vol S, vol \bar S). This module computes
+// h exactly on tiny graphs (subset enumeration) and approximately via the
+// classical spectral sweep cut elsewhere — used by tests to validate the
+// solvers and by the atlas to label instances as true expanders.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace cobra::spectral {
+
+/// Conductance of the vertex set S (given as a 0/1 indicator):
+/// cut(S, V-S) / min(vol(S), vol(V-S)). Throws std::invalid_argument if S
+/// or its complement is empty (or sizes mismatch).
+double set_conductance(const Graph& g, const std::vector<char>& in_set);
+
+/// Exact graph conductance h(G) by enumerating all 2^(n-1)-1 proper cuts.
+/// Throws for n < 2 or n > 24.
+double exact_conductance(const Graph& g);
+
+struct SweepCutResult {
+  double conductance = 1.0;          ///< best prefix-cut conductance found
+  std::vector<char> indicator;       ///< the achieving set
+  std::size_t set_size = 0;
+};
+
+/// Spectral sweep cut: orders vertices by the (deflated) dominant
+/// eigenvector of the normalized adjacency scaled by D^{-1/2} and returns
+/// the best prefix cut. By Cheeger, its conductance is at most
+/// sqrt(2 (1 - lambda_2)). Precondition: g connected, n >= 2.
+SweepCutResult sweep_cut(const Graph& g);
+
+}  // namespace cobra::spectral

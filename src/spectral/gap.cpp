@@ -1,0 +1,32 @@
+// SPDX-License-Identifier: MIT
+#include "spectral/gap.hpp"
+
+#include <cmath>
+
+#include "spectral/jacobi.hpp"
+#include "spectral/lanczos.hpp"
+
+namespace cobra::spectral {
+
+SpectralReport spectral_report(const Graph& g) {
+  SpectralReport report;
+  if (g.num_vertices() <= 256) {
+    const auto spectrum = dense_spectrum(g);  // descending
+    report.lambda2 = spectrum.size() > 1 ? spectrum[1] : 0.0;
+    report.lambda_min = spectrum.back();
+    report.method = "jacobi";
+    report.converged = true;
+  } else {
+    const auto result = second_eigenvalue_lanczos(g);
+    report.lambda2 = result.lambda2;
+    report.lambda_min = result.lambda_min;
+    report.method = "lanczos";
+    report.converged = result.converged;
+  }
+  report.lambda = std::max(std::fabs(report.lambda2),
+                           std::fabs(report.lambda_min));
+  report.gap = 1.0 - report.lambda;
+  return report;
+}
+
+}  // namespace cobra::spectral

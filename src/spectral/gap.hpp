@@ -1,0 +1,27 @@
+// SPDX-License-Identifier: MIT
+//
+// One-call spectral summary used by experiments: the paper's lambda, the
+// gap 1 - lambda, and the signed spectrum edges, computed by the most
+// appropriate solver for the instance size.
+#pragma once
+
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace cobra::spectral {
+
+struct SpectralReport {
+  double lambda2 = 0.0;      ///< largest non-trivial eigenvalue (signed)
+  double lambda_min = 0.0;   ///< smallest eigenvalue (signed)
+  double lambda = 0.0;       ///< max(|lambda2|, |lambda_min|) — paper's lambda
+  double gap = 0.0;          ///< 1 - lambda
+  std::string method;        ///< "jacobi" | "lanczos"
+  bool converged = false;
+};
+
+/// Computes the report. Dense Jacobi for n <= 256 (exact to rounding),
+/// Lanczos above. Precondition: g connected, n >= 2.
+SpectralReport spectral_report(const Graph& g);
+
+}  // namespace cobra::spectral

@@ -1,0 +1,111 @@
+// SPDX-License-Identifier: MIT
+#include "spectral/hitting.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "graph/analysis.hpp"
+
+namespace cobra::spectral {
+
+std::vector<double> solve_dense(std::vector<double> a, std::vector<double> b,
+                                std::size_t n) {
+  if (a.size() != n * n || b.size() != n) {
+    throw std::invalid_argument("solve_dense: size mismatch");
+  }
+  const auto at = [&a, n](std::size_t r, std::size_t c) -> double& {
+    return a[r * n + c];
+  };
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(at(r, col)) > std::fabs(at(pivot, col))) pivot = r;
+    }
+    if (std::fabs(at(pivot, col)) < 1e-12) {
+      throw std::invalid_argument("solve_dense: singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(at(pivot, c), at(col, c));
+      std::swap(b[pivot], b[col]);
+    }
+    const double inv = 1.0 / at(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = at(r, col) * inv;
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) at(r, c) -= factor * at(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n);
+  for (std::size_t r = n; r-- > 0;) {
+    double acc = b[r];
+    for (std::size_t c = r + 1; c < n; ++c) acc -= at(r, c) * x[c];
+    x[r] = acc / at(r, r);
+  }
+  return x;
+}
+
+std::vector<double> expected_hitting_times(const Graph& g, Vertex target) {
+  const std::size_t n = g.num_vertices();
+  if (n == 0 || n > 2048) {
+    throw std::invalid_argument("expected_hitting_times supports n <= 2048");
+  }
+  if (target >= n) throw std::invalid_argument("hitting target out of range");
+  if (g.min_degree() == 0 || !is_connected(g)) {
+    throw std::invalid_argument(
+        "expected_hitting_times requires a connected graph with min degree "
+        ">= 1");
+  }
+  // Unknowns: h(u) for u != target (m = n-1 of them).
+  const std::size_t m = n - 1;
+  const auto index_of = [target](Vertex v) -> std::size_t {
+    return (v < target) ? v : v - 1;
+  };
+  std::vector<double> a(m * m, 0.0);
+  std::vector<double> b(m, 1.0);
+  for (Vertex u = 0; u < n; ++u) {
+    if (u == target) continue;
+    const std::size_t row = index_of(u);
+    a[row * m + row] = 1.0;
+    const double share = 1.0 / static_cast<double>(g.degree(u));
+    for (const Vertex w : g.neighbors(u)) {
+      if (w == target) continue;
+      a[row * m + index_of(w)] -= share;
+    }
+  }
+  const auto h = solve_dense(std::move(a), std::move(b), m);
+  std::vector<double> result(n, 0.0);
+  for (Vertex u = 0; u < n; ++u) {
+    if (u != target) result[u] = h[index_of(u)];
+  }
+  return result;
+}
+
+double max_hitting_time(const Graph& g, Vertex target) {
+  const auto h = expected_hitting_times(g, target);
+  return *std::max_element(h.begin(), h.end());
+}
+
+MatthewsBounds matthews_cover_bounds(const Graph& g, std::size_t sample_cap) {
+  const std::size_t n = g.num_vertices();
+  if (n < 2) throw std::invalid_argument("matthews needs n >= 2");
+  double h_min = std::numeric_limits<double>::infinity();
+  double h_max = 0.0;
+  const std::size_t stride = std::max<std::size_t>(1, n / sample_cap);
+  for (Vertex v = 0; v < n; v += static_cast<Vertex>(stride)) {
+    const auto h = expected_hitting_times(g, v);
+    for (Vertex u = 0; u < n; ++u) {
+      if (u == v) continue;
+      h_min = std::min(h_min, h[u]);
+      h_max = std::max(h_max, h[u]);
+    }
+  }
+  double harmonic = 0.0;
+  for (std::size_t i = 1; i < n; ++i) harmonic += 1.0 / static_cast<double>(i);
+  return {h_min * harmonic, h_max * harmonic};
+}
+
+}  // namespace cobra::spectral

@@ -1,0 +1,44 @@
+// SPDX-License-Identifier: MIT
+//
+// Exact expected hitting times of the SIMPLE random walk (COBRA's k = 1
+// degenerate case) by solving the absorbing-chain linear system
+//   h(v) = 0,   h(u) = 1 + (1/d(u)) sum_{w ~ u} h(w)   for u != v.
+// Used to certify the k = 1 baselines: the Omega(n log n) cover bound the
+// paper quotes (via Matthews' bound from these hitting times) and the
+// E11 separation experiment. Dense Gaussian elimination; n <= 2048.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace cobra::spectral {
+
+/// Expected hitting times E[T_target | start = u] for all u (entry at
+/// `target` is 0). Precondition: g connected, min degree >= 1, n <= 2048.
+std::vector<double> expected_hitting_times(const Graph& g, Vertex target);
+
+/// max_u E[T_v | start = u] over the given target — one row of the
+/// worst-case hitting profile.
+double max_hitting_time(const Graph& g, Vertex target);
+
+/// Matthews' bounds on the expected cover time of the walk:
+///   lower: min_{u != v} H(u, v) * H_{n-1},
+///   upper: max_{u != v} H(u, v) * H_{n-1},   H_k = 1 + 1/2 + ... + 1/k.
+/// Exact H(u,v) for all pairs is O(n) linear solves = O(n^4) worst case;
+/// this helper restricts to a vertex sample for large n (exact for
+/// n <= sample_cap).
+struct MatthewsBounds {
+  double lower = 0.0;
+  double upper = 0.0;
+};
+MatthewsBounds matthews_cover_bounds(const Graph& g,
+                                     std::size_t sample_cap = 64);
+
+/// Solves the dense linear system A x = b in-place via partial-pivot
+/// Gaussian elimination (throws std::invalid_argument on singular A or
+/// size mismatch). Exposed for direct testing.
+std::vector<double> solve_dense(std::vector<double> a, std::vector<double> b,
+                                std::size_t n);
+
+}  // namespace cobra::spectral

@@ -1,0 +1,71 @@
+// SPDX-License-Identifier: MIT
+#include "spectral/jacobi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cobra::spectral {
+
+std::vector<double> jacobi_eigenvalues(std::vector<double> m, std::size_t n) {
+  if (m.size() != n * n) {
+    throw std::invalid_argument("jacobi: matrix must be n*n row-major");
+  }
+  const auto at = [&m, n](std::size_t r, std::size_t c) -> double& {
+    return m[r * n + c];
+  };
+  const int max_sweeps = 64;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) off += at(p, q) * at(p, q);
+    }
+    if (off < 1e-24) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = at(p, q);
+        if (std::fabs(apq) < 1e-18) continue;
+        const double theta = (at(q, q) - at(p, p)) / (2.0 * apq);
+        const double t = std::copysign(
+            1.0 / (std::fabs(theta) + std::sqrt(theta * theta + 1.0)), theta);
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Apply the rotation G(p, q) on both sides.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = at(k, p);
+          const double akq = at(k, q);
+          at(k, p) = c * akp - s * akq;
+          at(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = at(p, k);
+          const double aqk = at(q, k);
+          at(p, k) = c * apk - s * aqk;
+          at(q, k) = s * apk + c * aqk;
+        }
+      }
+    }
+  }
+  std::vector<double> eigenvalues(n);
+  for (std::size_t i = 0; i < n; ++i) eigenvalues[i] = at(i, i);
+  std::sort(eigenvalues.begin(), eigenvalues.end(), std::greater<>());
+  return eigenvalues;
+}
+
+std::vector<double> dense_spectrum(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  if (n == 0 || n > 4096) {
+    throw std::invalid_argument("dense_spectrum supports 1 <= n <= 4096");
+  }
+  std::vector<double> matrix(n * n, 0.0);
+  for (Vertex v = 0; v < n; ++v) {
+    const double dv = static_cast<double>(g.degree(v));
+    for (const Vertex w : g.neighbors(v)) {
+      const double dw = static_cast<double>(g.degree(w));
+      matrix[static_cast<std::size_t>(v) * n + w] = 1.0 / std::sqrt(dv * dw);
+    }
+  }
+  return jacobi_eigenvalues(std::move(matrix), n);
+}
+
+}  // namespace cobra::spectral

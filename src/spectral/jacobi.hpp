@@ -1,0 +1,23 @@
+// SPDX-License-Identifier: MIT
+//
+// Dense cyclic Jacobi eigensolver for the normalized adjacency. O(n^3) and
+// O(n^2) memory — a validation oracle for the iterative solvers on small
+// graphs (tests use n <= 512), not a production path.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace cobra::spectral {
+
+/// All eigenvalues of the dense normalized adjacency of g, descending.
+/// Throws std::invalid_argument for n == 0 or n > 4096 (memory guard).
+std::vector<double> dense_spectrum(const Graph& g);
+
+/// Eigenvalues of an arbitrary symmetric dense matrix (row-major, n*n),
+/// descending. Exposed for testing the rotation kernel in isolation.
+std::vector<double> jacobi_eigenvalues(std::vector<double> matrix,
+                                       std::size_t n);
+
+}  // namespace cobra::spectral

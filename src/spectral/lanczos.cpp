@@ -1,0 +1,159 @@
+// SPDX-License-Identifier: MIT
+#include "spectral/lanczos.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "rand/rng.hpp"
+#include "spectral/matvec.hpp"
+
+namespace cobra::spectral {
+
+std::vector<double> tridiagonal_eigenvalues(std::vector<double> alpha,
+                                            std::vector<double> beta) {
+  // Implicit-shift QL for a symmetric tridiagonal matrix (EISPACK tql1
+  // lineage). alpha becomes the eigenvalues.
+  const std::size_t m = alpha.size();
+  if (m == 0) return {};
+  if (beta.size() + 1 != m) {
+    throw std::invalid_argument("tridiagonal: beta must have size m-1");
+  }
+  std::vector<double> e(m, 0.0);
+  std::copy(beta.begin(), beta.end(), e.begin());  // e[0..m-2], e[m-1] = 0
+
+  for (std::size_t l = 0; l < m; ++l) {
+    std::size_t iterations = 0;
+    while (true) {
+      // Find a small off-diagonal element to split the matrix.
+      std::size_t split = l;
+      while (split + 1 < m) {
+        const double scale =
+            std::fabs(alpha[split]) + std::fabs(alpha[split + 1]);
+        if (std::fabs(e[split]) <= 1e-15 * scale) break;
+        ++split;
+      }
+      if (split == l) break;
+      if (++iterations > 50) {
+        throw std::runtime_error("tridiagonal QL failed to converge");
+      }
+      // Form the implicit shift from the 2x2 block at l.
+      double g = (alpha[l + 1] - alpha[l]) / (2.0 * e[l]);
+      double r = std::hypot(g, 1.0);
+      g = alpha[split] - alpha[l] + e[l] / (g + std::copysign(r, g));
+      double s = 1.0;
+      double c = 1.0;
+      double p = 0.0;
+      for (std::size_t i = split; i-- > l;) {
+        double f = s * e[i];
+        const double b = c * e[i];
+        r = std::hypot(f, g);
+        e[i + 1] = r;
+        if (r == 0.0) {
+          alpha[i + 1] -= p;
+          e[split] = 0.0;
+          break;
+        }
+        s = f / r;
+        c = g / r;
+        g = alpha[i + 1] - p;
+        r = (alpha[i] - g) * s + 2.0 * c * b;
+        p = s * r;
+        alpha[i + 1] = g + p;
+        g = c * r - b;
+      }
+      if (r == 0.0 && split > l + 1) continue;
+      alpha[l] -= p;
+      e[l] = g;
+      e[split] = 0.0;
+    }
+  }
+  std::sort(alpha.begin(), alpha.end());
+  return alpha;
+}
+
+LanczosResult second_eigenvalue_lanczos(const Graph& g,
+                                        const LanczosOptions& opts) {
+  const std::size_t n = g.num_vertices();
+  if (n < 2) throw std::invalid_argument("lanczos requires n >= 2");
+
+  const std::vector<double> phi1 = stationary_direction(g);
+  const std::size_t max_steps = std::min(opts.max_steps, n - 1);
+
+  // Krylov basis kept explicitly for full reorthogonalization; at library
+  // scales (n up to ~1e6, steps a few hundred) this is the robust choice.
+  std::vector<std::vector<double>> basis;
+  basis.reserve(max_steps);
+  std::vector<double> alpha;
+  std::vector<double> beta;
+
+  Rng rng(opts.seed);
+  std::vector<double> q(n);
+  for (double& value : q) value = rng.next_double() - 0.5;
+  deflate(q, phi1);
+  if (normalize(q) == 0.0) {
+    q.assign(n, 0.0);
+    q[0] = 1.0;
+    deflate(q, phi1);
+    normalize(q);
+  }
+
+  LanczosResult result;
+  std::vector<double> w(n);
+  double prev_hi = 2.0;
+  double prev_lo = -2.0;
+  for (std::size_t step = 0; step < max_steps; ++step) {
+    basis.push_back(q);
+    multiply_normalized(g, q, w);
+    deflate(w, phi1);
+    const double a = dot(w, q);
+    alpha.push_back(a);
+    // w <- w - a q - beta_prev q_prev, then full reorthogonalization.
+    for (std::size_t i = 0; i < n; ++i) w[i] -= a * q[i];
+    if (!beta.empty()) {
+      const auto& prev = basis[basis.size() - 2];
+      const double b = beta.back();
+      for (std::size_t i = 0; i < n; ++i) w[i] -= b * prev[i];
+    }
+    for (const auto& vec : basis) {
+      const double coeff = dot(w, vec);
+      if (std::fabs(coeff) > 0) {
+        for (std::size_t i = 0; i < n; ++i) w[i] -= coeff * vec[i];
+      }
+    }
+    const double b_next = norm(w);
+    result.steps = step + 1;
+
+    // Check extreme Ritz values every few steps (and at the end).
+    const bool breakdown = b_next < 1e-13;
+    if (breakdown || step + 1 == max_steps || (step % 8 == 7)) {
+      const auto ritz = tridiagonal_eigenvalues(
+          alpha, std::vector<double>(beta.begin(), beta.end()));
+      const double lo = ritz.front();
+      const double hi = ritz.back();
+      result.lambda2 = hi;
+      result.lambda_min = lo;
+      result.lambda_abs = std::max(std::fabs(hi), std::fabs(lo));
+      const bool stable = std::fabs(hi - prev_hi) < opts.tolerance &&
+                          std::fabs(lo - prev_lo) < opts.tolerance;
+      prev_hi = hi;
+      prev_lo = lo;
+      if (breakdown) {
+        // Exact invariant subspace: the Ritz values are exact eigenvalues.
+        result.converged = true;
+        return result;
+      }
+      if (stable) {
+        result.converged = true;
+        return result;
+      }
+    }
+    beta.push_back(b_next);
+    q = w;
+    const double scale = 1.0 / b_next;
+    for (double& value : q) value *= scale;
+  }
+  return result;
+}
+
+}  // namespace cobra::spectral

@@ -1,0 +1,47 @@
+// SPDX-License-Identifier: MIT
+//
+// Lanczos iteration (with full reorthogonalization) on the normalized
+// adjacency N, with the trivial eigenvector projected out. This is the
+// library's primary spectral solver: it resolves both edges of the
+// spectrum (lambda_2 and lambda_n) simultaneously, which the power method
+// cannot do when lambda_2 is close to |lambda_n|.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace cobra::spectral {
+
+struct LanczosOptions {
+  /// Krylov subspace cap. The solver stops earlier on breakdown (exact
+  /// invariant subspace) or when extreme Ritz values stabilize.
+  std::size_t max_steps = 300;
+  /// Relative stabilization tolerance on the extreme Ritz values.
+  double tolerance = 1e-10;
+  std::uint64_t seed = 0xa5eedULL;
+};
+
+struct LanczosResult {
+  /// Largest non-trivial eigenvalue (signed), i.e. lambda_2 of N.
+  double lambda2 = 0.0;
+  /// Smallest eigenvalue, i.e. lambda_n of N (>= -1; == -1 iff bipartite).
+  double lambda_min = 0.0;
+  /// max(|lambda2|, |lambda_min|) — the paper's lambda.
+  double lambda_abs = 0.0;
+  std::size_t steps = 0;
+  bool converged = false;
+};
+
+/// Precondition: g connected, n >= 2.
+LanczosResult second_eigenvalue_lanczos(const Graph& g,
+                                        const LanczosOptions& opts = {});
+
+/// Eigenvalues of the symmetric tridiagonal matrix with diagonal `alpha`
+/// (size m) and off-diagonal `beta` (size m-1), in ascending order.
+/// Implicit-shift QL; exposed for direct testing.
+std::vector<double> tridiagonal_eigenvalues(std::vector<double> alpha,
+                                            std::vector<double> beta);
+
+}  // namespace cobra::spectral

@@ -1,0 +1,73 @@
+// SPDX-License-Identifier: MIT
+#include "spectral/matvec.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace cobra::spectral {
+
+void multiply_normalized(const Graph& g, std::span<const double> x,
+                         std::span<double> y) {
+  const std::size_t n = g.num_vertices();
+  assert(x.size() == n && y.size() == n);
+  if (g.is_regular() && g.regularity() > 0) {
+    const double inv_r = 1.0 / g.regularity();
+    for (Vertex v = 0; v < n; ++v) {
+      double acc = 0.0;
+      for (const Vertex w : g.neighbors(v)) acc += x[w];
+      y[v] = acc * inv_r;
+    }
+    return;
+  }
+  for (Vertex v = 0; v < n; ++v) {
+    const std::size_t dv = g.degree(v);
+    if (dv == 0) {
+      y[v] = 0.0;
+      continue;
+    }
+    double acc = 0.0;
+    for (const Vertex w : g.neighbors(v)) {
+      const std::size_t dw = g.degree(w);
+      acc += x[w] / std::sqrt(static_cast<double>(dw));
+    }
+    y[v] = acc / std::sqrt(static_cast<double>(dv));
+  }
+}
+
+std::vector<double> stationary_direction(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  std::vector<double> phi(n);
+  double total = 0.0;
+  for (Vertex v = 0; v < n; ++v) {
+    phi[v] = std::sqrt(static_cast<double>(g.degree(v)));
+    total += phi[v] * phi[v];
+  }
+  const double inv = total > 0 ? 1.0 / std::sqrt(total) : 0.0;
+  for (double& value : phi) value *= inv;
+  return phi;
+}
+
+void deflate(std::span<double> x, std::span<const double> phi1) {
+  const double coeff = dot(x, phi1);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] -= coeff * phi1[i];
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double norm(std::span<const double> a) { return std::sqrt(dot(a, a)); }
+
+double normalize(std::span<double> x) {
+  const double len = norm(x);
+  if (len > 0) {
+    const double inv = 1.0 / len;
+    for (double& value : x) value *= inv;
+  }
+  return len;
+}
+
+}  // namespace cobra::spectral

@@ -1,0 +1,39 @@
+// SPDX-License-Identifier: MIT
+//
+// Sparse matrix-vector kernels for random-walk spectra.
+//
+// The paper's parameter is lambda, the second-largest absolute eigenvalue
+// of the transition matrix P = A/r of an r-regular graph. For irregular
+// graphs we use the symmetric normalized adjacency
+//   N = D^{-1/2} A D^{-1/2},
+// which is similar to P = D^{-1} A (same spectrum) and coincides with it
+// on regular graphs. All solvers in this module operate on N so that
+// symmetric eigenvalue machinery (Lanczos, Jacobi) applies uniformly.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace cobra::spectral {
+
+/// y = N x with N the normalized adjacency. Requires x.size() == y.size()
+/// == n; isolated vertices contribute 0. x and y must not alias.
+void multiply_normalized(const Graph& g, std::span<const double> x,
+                         std::span<double> y);
+
+/// The top eigenvector of N for a connected graph: phi1(v) ~ sqrt(deg(v)),
+/// normalized to unit 2-norm (eigenvalue exactly 1).
+std::vector<double> stationary_direction(const Graph& g);
+
+/// Removes the phi1 component: x <- x - <x, phi1> phi1.
+void deflate(std::span<double> x, std::span<const double> phi1);
+
+/// Euclidean helpers shared by the iterative solvers.
+double dot(std::span<const double> a, std::span<const double> b);
+double norm(std::span<const double> a);
+/// Scales x to unit norm; returns the pre-scaling norm (0 if x == 0).
+double normalize(std::span<double> x);
+
+}  // namespace cobra::spectral

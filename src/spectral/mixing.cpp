@@ -1,0 +1,63 @@
+// SPDX-License-Identifier: MIT
+#include "spectral/mixing.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "spectral/gap.hpp"
+
+namespace cobra::spectral {
+
+MixingEstimate mixing_estimate(const Graph& g, double eps) {
+  if (eps <= 0.0 || eps >= 1.0) {
+    throw std::invalid_argument("mixing_estimate requires eps in (0,1)");
+  }
+  const auto report = spectral_report(g);
+  MixingEstimate estimate;
+  estimate.lambda = report.lambda;
+  const double gap = std::max(report.gap, 1e-300);
+  estimate.relaxation_time = 1.0 / gap;
+  const double n = static_cast<double>(g.num_vertices());
+  estimate.mixing_time_bound = estimate.relaxation_time * std::log(n / eps);
+  estimate.paper_T = std::log(n) / (gap * gap * gap);
+  return estimate;
+}
+
+double walk_tv_distance(const Graph& g, std::size_t t) {
+  const std::size_t n = g.num_vertices();
+  if (n == 0 || n > 2048) {
+    throw std::invalid_argument("walk_tv_distance supports 1 <= n <= 2048");
+  }
+  if (g.min_degree() == 0) {
+    throw std::invalid_argument("walk_tv_distance requires min degree >= 1");
+  }
+  // Stationary distribution pi(v) = d(v) / 2m.
+  const double two_m = 2.0 * static_cast<double>(g.num_edges());
+  std::vector<double> pi(n);
+  for (Vertex v = 0; v < n; ++v) {
+    pi[v] = static_cast<double>(g.degree(v)) / two_m;
+  }
+  double worst = 0.0;
+  std::vector<double> dist(n);
+  std::vector<double> next(n);
+  for (Vertex start = 0; start < n; ++start) {
+    std::fill(dist.begin(), dist.end(), 0.0);
+    dist[start] = 1.0;
+    for (std::size_t step = 0; step < t; ++step) {
+      std::fill(next.begin(), next.end(), 0.0);
+      for (Vertex v = 0; v < n; ++v) {
+        if (dist[v] == 0.0) continue;
+        const double share = dist[v] / static_cast<double>(g.degree(v));
+        for (const Vertex w : g.neighbors(v)) next[w] += share;
+      }
+      dist.swap(next);
+    }
+    double tv = 0.0;
+    for (Vertex v = 0; v < n; ++v) tv += std::fabs(dist[v] - pi[v]);
+    worst = std::max(worst, tv / 2.0);
+  }
+  return worst;
+}
+
+}  // namespace cobra::spectral

@@ -1,0 +1,34 @@
+// SPDX-License-Identifier: MIT
+//
+// Random-walk mixing estimates derived from the spectral report. The
+// paper's T = log(n)/(1-lambda)^3 envelope contains the relaxation time
+// 1/(1-lambda) as its driving term; these helpers make the standard
+// quantities available to experiments and examples:
+//   relaxation time  t_rel = 1 / (1 - lambda)
+//   mixing time      t_mix(eps) <= t_rel * ln(n / eps)   (reversible chains)
+// plus a direct simulation of the walk's distance to stationarity for
+// cross-checking the bound on small graphs.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.hpp"
+
+namespace cobra::spectral {
+
+struct MixingEstimate {
+  double lambda = 0.0;
+  double relaxation_time = 0.0;          ///< 1/(1 - lambda)
+  double mixing_time_bound = 0.0;        ///< t_rel * ln(n/eps)
+  double paper_T = 0.0;                  ///< log(n)/(1-lambda)^3 (Theorem 1/2)
+};
+
+/// Computes the estimates from a spectral report of g (eps in (0,1)).
+MixingEstimate mixing_estimate(const Graph& g, double eps = 0.25);
+
+/// Exact total-variation distance of the t-step walk from stationarity,
+/// maximized over start vertices, by dense matrix powering. O(t n^3 / ...)
+/// via repeated vector multiplications: O(t * n * m). For tests; n <= 2048.
+double walk_tv_distance(const Graph& g, std::size_t t);
+
+}  // namespace cobra::spectral

@@ -1,0 +1,36 @@
+// SPDX-License-Identifier: MIT
+//
+// Deflated power iteration for lambda = max_{i >= 2} |lambda_i| of the
+// normalized adjacency. Simple and allocation-light; used as a cross-check
+// for Lanczos and as a fallback when Lanczos hits its step cap.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "rand/rng.hpp"
+
+namespace cobra::spectral {
+
+struct PowerOptions {
+  std::size_t max_iterations = 10'000;
+  /// Stop when the eigen-residual ||N x - theta x|| drops below this.
+  double tolerance = 1e-9;
+  std::uint64_t seed = 0x5eedb01dULL;
+};
+
+struct PowerResult {
+  /// Signed Rayleigh quotient of the converged direction (the dominant
+  /// non-trivial eigenvalue; negative if |lambda_n| > lambda_2).
+  double eigenvalue = 0.0;
+  /// |eigenvalue| — the paper's lambda.
+  double lambda_abs = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Runs power iteration on N with the trivial eigenvector deflated out.
+/// Precondition: g is connected with at least 2 vertices.
+PowerResult second_eigenvalue_power(const Graph& g, const PowerOptions& opts = {});
+
+}  // namespace cobra::spectral

@@ -1,0 +1,40 @@
+// SPDX-License-Identifier: MIT
+#include "stats/bootstrap.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "stats/quantile.hpp"
+
+namespace cobra {
+
+Interval bootstrap_mean_ci(std::span<const double> values,
+                           std::size_t resamples, double confidence,
+                           Rng& rng) {
+  if (values.empty()) {
+    throw std::invalid_argument("bootstrap_mean_ci of empty sample");
+  }
+  if (confidence <= 0.0 || confidence >= 1.0) {
+    throw std::invalid_argument("confidence must be in (0, 1)");
+  }
+  if (resamples == 0) {
+    throw std::invalid_argument("resamples must be positive");
+  }
+  std::vector<double> means;
+  means.reserve(resamples);
+  const std::size_t n = values.size();
+  for (std::size_t b = 0; b < resamples; ++b) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += values[static_cast<std::size_t>(rng.next_below(n))];
+    }
+    means.push_back(acc / static_cast<double>(n));
+  }
+  const double alpha = (1.0 - confidence) / 2.0;
+  Interval interval;
+  interval.lo = quantile(means, alpha);
+  interval.hi = quantile(means, 1.0 - alpha);
+  return interval;
+}
+
+}  // namespace cobra

@@ -1,0 +1,26 @@
+// SPDX-License-Identifier: MIT
+//
+// Percentile bootstrap confidence interval for the sample mean — the
+// experiment tables report mean cover times with CI so "who wins" claims
+// in EXPERIMENTS.md rest on overlapping-interval checks, not eyeballing.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "rand/rng.hpp"
+
+namespace cobra {
+
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Percentile bootstrap CI for the mean at the given confidence level
+/// (e.g. 0.95). Throws std::invalid_argument on empty samples or
+/// confidence outside (0, 1).
+Interval bootstrap_mean_ci(std::span<const double> values,
+                           std::size_t resamples, double confidence, Rng& rng);
+
+}  // namespace cobra

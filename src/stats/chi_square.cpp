@@ -1,0 +1,78 @@
+// SPDX-License-Identifier: MIT
+#include "stats/chi_square.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cobra {
+
+namespace {
+
+/// Regularized upper incomplete gamma Q(a, x) by series/continued
+/// fraction (Numerical Recipes style), accurate to ~1e-12 for the
+/// moderate arguments tests use.
+double upper_gamma_regularized(double a, double x) {
+  if (x < 0.0 || a <= 0.0) throw std::invalid_argument("gamma domain");
+  if (x == 0.0) return 1.0;
+  const double log_gamma_a = std::lgamma(a);
+  if (x < a + 1.0) {
+    // P(a,x) by series, return 1 - P.
+    double term = 1.0 / a;
+    double sum = term;
+    double denominator = a;
+    for (int i = 0; i < 500; ++i) {
+      denominator += 1.0;
+      term *= x / denominator;
+      sum += term;
+      if (std::fabs(term) < std::fabs(sum) * 1e-15) break;
+    }
+    const double p = sum * std::exp(-x + a * std::log(x) - log_gamma_a);
+    return 1.0 - p;
+  }
+  // Q(a,x) by Lentz continued fraction.
+  double b = x + 1.0 - a;
+  double c = 1e308;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < 1e-300) d = 1e-300;
+    c = b + an / c;
+    if (std::fabs(c) < 1e-300) c = 1e-300;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < 1e-15) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - log_gamma_a);
+}
+
+}  // namespace
+
+double chi_square_tail(double x, std::size_t dof) {
+  if (dof == 0) throw std::invalid_argument("chi_square_tail: dof >= 1");
+  if (x <= 0.0) return 1.0;
+  return upper_gamma_regularized(static_cast<double>(dof) / 2.0, x / 2.0);
+}
+
+ChiSquareResult chi_square_test(std::span<const std::uint64_t> observed,
+                                std::span<const double> expected) {
+  if (observed.size() != expected.size() || observed.size() < 2) {
+    throw std::invalid_argument("chi_square_test: need >= 2 matching bins");
+  }
+  ChiSquareResult result;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    if (expected[i] <= 0.0) {
+      throw std::invalid_argument("chi_square_test: expected counts > 0");
+    }
+    const double diff = static_cast<double>(observed[i]) - expected[i];
+    result.statistic += diff * diff / expected[i];
+  }
+  result.degrees_of_freedom = observed.size() - 1;
+  result.p_value = chi_square_tail(result.statistic, result.degrees_of_freedom);
+  return result;
+}
+
+}  // namespace cobra

@@ -1,0 +1,28 @@
+// SPDX-License-Identifier: MIT
+//
+// Chi-square goodness-of-fit test against given expected counts. Used to
+// audit the RNG substrate (uniformity of next_below, neighbour picks) and
+// the process engines' choice distributions against exact::*.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace cobra {
+
+struct ChiSquareResult {
+  double statistic = 0.0;
+  std::size_t degrees_of_freedom = 0;
+  double p_value = 1.0;
+};
+
+/// Tests observed counts against expected counts (same length >= 2; every
+/// expected > 0; throws otherwise). dof = bins - 1.
+ChiSquareResult chi_square_test(std::span<const std::uint64_t> observed,
+                                std::span<const double> expected);
+
+/// Upper tail of the chi-square distribution with k dof at x, via the
+/// regularized incomplete gamma Q(k/2, x/2). Exposed for direct tests.
+double chi_square_tail(double x, std::size_t dof);
+
+}  // namespace cobra

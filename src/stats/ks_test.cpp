@@ -1,0 +1,52 @@
+// SPDX-License-Identifier: MIT
+#include "stats/ks_test.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace cobra {
+
+double kolmogorov_tail(double x) {
+  if (x <= 0.0) return 1.0;
+  double total = 0.0;
+  for (int j = 1; j <= 100; ++j) {
+    const double term = std::exp(-2.0 * j * j * x * x);
+    total += (j % 2 == 1) ? term : -term;
+    if (term < 1e-16) break;
+  }
+  return std::clamp(2.0 * total, 0.0, 1.0);
+}
+
+KsResult ks_two_sample(std::span<const double> sample1,
+                       std::span<const double> sample2) {
+  if (sample1.empty() || sample2.empty()) {
+    throw std::invalid_argument("ks_two_sample requires non-empty samples");
+  }
+  std::vector<double> a(sample1.begin(), sample1.end());
+  std::vector<double> b(sample2.begin(), sample2.end());
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const auto n1 = static_cast<double>(a.size());
+  const auto n2 = static_cast<double>(b.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  double d = 0.0;
+  while (i < a.size() && j < b.size()) {
+    const double x = std::min(a[i], b[j]);
+    while (i < a.size() && a[i] <= x) ++i;
+    while (j < b.size() && b[j] <= x) ++j;
+    d = std::max(d, std::fabs(static_cast<double>(i) / n1 -
+                              static_cast<double>(j) / n2));
+  }
+  KsResult result;
+  result.statistic = d;
+  const double effective = std::sqrt(n1 * n2 / (n1 + n2));
+  // Small-sample continuity correction (Stephens).
+  const double z = (effective + 0.12 + 0.11 / effective) * d;
+  result.p_value = kolmogorov_tail(z);
+  return result;
+}
+
+}  // namespace cobra

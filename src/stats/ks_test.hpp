@@ -1,0 +1,27 @@
+// SPDX-License-Identifier: MIT
+//
+// Two-sample Kolmogorov-Smirnov test. Used by the test suite to verify
+// distributional claims the z-test cannot see — e.g. that COBRA cover
+// times from different start vertices of a vertex-transitive graph are
+// identically distributed, not merely equal in mean.
+#pragma once
+
+#include <span>
+
+namespace cobra {
+
+struct KsResult {
+  double statistic = 0.0;  ///< sup_x |F1(x) - F2(x)|
+  double p_value = 1.0;    ///< asymptotic (Kolmogorov) two-sided p-value
+};
+
+/// Two-sample KS test; both samples must be non-empty (throws otherwise).
+/// The asymptotic p-value is accurate for sample sizes >~ 25.
+KsResult ks_two_sample(std::span<const double> sample1,
+                       std::span<const double> sample2);
+
+/// Kolmogorov distribution complement Q(x) = 2 sum_{j>=1} (-1)^{j-1}
+/// exp(-2 j^2 x^2); exposed for direct testing.
+double kolmogorov_tail(double x);
+
+}  // namespace cobra

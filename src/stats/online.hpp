@@ -1,0 +1,35 @@
+// SPDX-License-Identifier: MIT
+//
+// Welford's online moments: numerically stable streaming mean/variance
+// without storing samples. Used by the growth-bound experiment (E7) where
+// per-bucket sample counts are unbounded.
+#pragma once
+
+#include <cstddef>
+
+namespace cobra {
+
+class OnlineStats {
+ public:
+  void add(double value) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+  /// Pools another accumulator into this one (parallel merge).
+  void merge(const OnlineStats& other) noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace cobra

@@ -1,0 +1,77 @@
+// SPDX-License-Identifier: MIT
+#include "stats/regression.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace cobra {
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("fit_linear: size mismatch");
+  }
+  if (x.size() < 2) {
+    throw std::invalid_argument("fit_linear: need >= 2 points");
+  }
+  const auto n = static_cast<double>(x.size());
+  double sum_x = 0.0;
+  double sum_y = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sum_x += x[i];
+    sum_y += y[i];
+  }
+  const double mean_x = sum_x / n;
+  const double mean_y = sum_y / n;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mean_x;
+    const double dy = y[i] - mean_y;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) {
+    throw std::invalid_argument("fit_linear: all x identical");
+  }
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = mean_y - fit.slope * mean_x;
+  if (syy == 0.0) {
+    fit.r2 = 1.0;  // constant y fitted exactly by slope 0
+  } else {
+    fit.r2 = (sxy * sxy) / (sxx * syy);
+  }
+  return fit;
+}
+
+namespace {
+std::vector<double> log_all(std::span<const double> values, const char* what) {
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (const double value : values) {
+    if (value <= 0.0) {
+      throw std::invalid_argument(std::string("log transform requires positive ") +
+                                  what);
+    }
+    out.push_back(std::log(value));
+  }
+  return out;
+}
+}  // namespace
+
+LinearFit fit_semilogx(std::span<const double> x, std::span<const double> y) {
+  const auto lx = log_all(x, "x");
+  return fit_linear(lx, y);
+}
+
+LinearFit fit_loglog(std::span<const double> x, std::span<const double> y) {
+  const auto lx = log_all(x, "x");
+  const auto ly = log_all(y, "y");
+  return fit_linear(lx, ly);
+}
+
+}  // namespace cobra

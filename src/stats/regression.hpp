@@ -1,0 +1,30 @@
+// SPDX-License-Identifier: MIT
+//
+// Ordinary least squares on (x, y) pairs, plus the log-transform helpers
+// the scaling experiments use:
+//  * Theorem 1/2 say rounds ~ a log n  -> fit rounds vs log n, check R^2.
+//  * Grid experiment says rounds ~ n^(1/d) -> fit log rounds vs log n,
+//    check the slope against 1/d.
+#pragma once
+
+#include <span>
+
+namespace cobra {
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  ///< coefficient of determination
+};
+
+/// Throws std::invalid_argument if sizes differ or fewer than 2 points, or
+/// if all x are identical.
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y);
+
+/// Fits y = a * ln(x) + b (x must be positive).
+LinearFit fit_semilogx(std::span<const double> x, std::span<const double> y);
+
+/// Fits ln(y) = slope * ln(x) + b, i.e. the power-law exponent (x, y > 0).
+LinearFit fit_loglog(std::span<const double> x, std::span<const double> y);
+
+}  // namespace cobra

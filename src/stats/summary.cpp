@@ -1,0 +1,40 @@
+// SPDX-License-Identifier: MIT
+#include "stats/summary.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "stats/online.hpp"
+#include "stats/quantile.hpp"
+
+namespace cobra {
+
+Summary summarize(std::span<const double> values) {
+  if (values.empty()) {
+    throw std::invalid_argument("summarize of empty sample");
+  }
+  OnlineStats online;
+  for (const double value : values) online.add(value);
+  Summary summary;
+  summary.count = online.count();
+  summary.mean = online.mean();
+  summary.stddev = online.stddev();
+  summary.min = online.min();
+  summary.max = online.max();
+  summary.median = quantile(values, 0.5);
+  summary.p90 = quantile(values, 0.9);
+  summary.p99 = quantile(values, 0.99);
+  return summary;
+}
+
+std::string to_string(const Summary& summary) {
+  char buffer[160];
+  std::snprintf(buffer, sizeof buffer,
+                "mean=%.3f sd=%.3f min=%.0f med=%.1f p90=%.1f p99=%.1f "
+                "max=%.0f (n=%zu)",
+                summary.mean, summary.stddev, summary.min, summary.median,
+                summary.p90, summary.p99, summary.max, summary.count);
+  return buffer;
+}
+
+}  // namespace cobra

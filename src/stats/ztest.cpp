@@ -1,0 +1,40 @@
+// SPDX-License-Identifier: MIT
+#include "stats/ztest.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cobra {
+
+double normal_two_sided_pvalue(double z) {
+  return std::erfc(std::fabs(z) / std::sqrt(2.0));
+}
+
+ZTestResult two_proportion_ztest(std::uint64_t successes1, std::uint64_t n1,
+                                 std::uint64_t successes2, std::uint64_t n2) {
+  if (n1 == 0 || n2 == 0) {
+    throw std::invalid_argument("two_proportion_ztest requires n1, n2 > 0");
+  }
+  if (successes1 > n1 || successes2 > n2) {
+    throw std::invalid_argument("successes exceed sample size");
+  }
+  ZTestResult result;
+  result.p1 = static_cast<double>(successes1) / static_cast<double>(n1);
+  result.p2 = static_cast<double>(successes2) / static_cast<double>(n2);
+  const double pooled = static_cast<double>(successes1 + successes2) /
+                        static_cast<double>(n1 + n2);
+  const double se = std::sqrt(pooled * (1.0 - pooled) *
+                              (1.0 / static_cast<double>(n1) +
+                               1.0 / static_cast<double>(n2)));
+  if (se == 0.0) {
+    // Both proportions are 0 or both are 1: identical, no evidence against H0.
+    result.z = 0.0;
+    result.p_value = 1.0;
+    return result;
+  }
+  result.z = (result.p1 - result.p2) / se;
+  result.p_value = normal_two_sided_pvalue(result.z);
+  return result;
+}
+
+}  // namespace cobra

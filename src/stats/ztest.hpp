@@ -1,0 +1,27 @@
+// SPDX-License-Identifier: MIT
+//
+// Two-proportion z-test. The duality experiment (Theorem 4) estimates the
+// same probability through two different processes (COBRA hitting tails vs
+// BIPS membership) and tests that the difference is statistical noise.
+#pragma once
+
+#include <cstdint>
+
+namespace cobra {
+
+struct ZTestResult {
+  double p1 = 0.0;       ///< successes1 / n1
+  double p2 = 0.0;       ///< successes2 / n2
+  double z = 0.0;        ///< pooled z statistic (0 when both pools agree trivially)
+  double p_value = 1.0;  ///< two-sided
+};
+
+/// H0: the two samples draw from Bernoulli variables with equal p.
+/// Throws std::invalid_argument if n1 == 0 or n2 == 0.
+ZTestResult two_proportion_ztest(std::uint64_t successes1, std::uint64_t n1,
+                                 std::uint64_t successes2, std::uint64_t n2);
+
+/// Standard normal two-sided tail probability P(|Z| >= z).
+double normal_two_sided_pvalue(double z);
+
+}  // namespace cobra

@@ -1,0 +1,101 @@
+// SPDX-License-Identifier: MIT
+#include "util/flags.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace cobra {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (!arg.starts_with("--")) {
+      positionals_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+      continue;
+    }
+    // "--name value" if the next token is not itself a flag; bare boolean
+    // otherwise.
+    if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+      values_[std::string(arg)] = argv[i + 1];
+      ++i;
+    } else {
+      values_[std::string(arg)] = "";
+    }
+  }
+}
+
+bool Flags::has(std::string_view name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return false;
+  consumed_[it->first] = true;
+  return true;
+}
+
+std::string Flags::get(std::string_view name, std::string_view fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::string(fallback);
+  consumed_[it->first] = true;
+  return it->second;
+}
+
+std::int64_t Flags::get_int(std::string_view name, std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  consumed_[it->first] = true;
+  std::int64_t value = 0;
+  const auto& text = it->second;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    throw std::invalid_argument("flag --" + it->first +
+                                " expects an integer, got '" + text + "'");
+  }
+  return value;
+}
+
+double Flags::get_double(std::string_view name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  consumed_[it->first] = true;
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(it->second, &used);
+    if (used != it->second.size()) throw std::invalid_argument("trailing");
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + it->first +
+                                " expects a number, got '" + it->second + "'");
+  }
+}
+
+bool Flags::get_bool(std::string_view name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  consumed_[it->first] = true;
+  const auto& text = it->second;
+  if (text.empty() || text == "1" || text == "true" || text == "yes") {
+    return true;
+  }
+  if (text == "0" || text == "false" || text == "no") return false;
+  throw std::invalid_argument("flag --" + it->first +
+                              " expects a boolean, got '" + text + "'");
+}
+
+std::vector<std::string> Flags::unconsumed() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (const auto it = consumed_.find(name);
+        it == consumed_.end() || !it->second) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+}  // namespace cobra

@@ -1,0 +1,44 @@
+// SPDX-License-Identifier: MIT
+//
+// A minimal command-line flag parser for the experiment harnesses and
+// examples. Supports --name=value, --name value, and bare boolean --name.
+// Unknown flags are collected so binaries can warn instead of crashing
+// (google-benchmark passes its own flags through the same argv).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cobra {
+
+class Flags {
+ public:
+  /// Parses argv. Arguments not starting with "--" are kept as positionals.
+  Flags(int argc, const char* const* argv);
+
+  /// True if --name was present (with or without a value).
+  bool has(std::string_view name) const;
+
+  /// Value lookups with defaults. get_int/get_double throw
+  /// std::invalid_argument on malformed numbers (fail loudly, per I.10).
+  std::string get(std::string_view name, std::string_view fallback) const;
+  std::int64_t get_int(std::string_view name, std::int64_t fallback) const;
+  double get_double(std::string_view name, double fallback) const;
+  bool get_bool(std::string_view name, bool fallback) const;
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+  /// Names seen on the command line but never queried via get*/has.
+  /// Call at the end of main to warn about typos.
+  std::vector<std::string> unconsumed() const;
+
+ private:
+  std::map<std::string, std::string, std::less<>> values_;
+  mutable std::map<std::string, bool, std::less<>> consumed_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace cobra

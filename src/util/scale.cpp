@@ -1,0 +1,33 @@
+// SPDX-License-Identifier: MIT
+#include "util/scale.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace cobra {
+
+Scale Scale::parse(std::string_view name) {
+  if (name == "small") return {ScaleLevel::kSmall};
+  if (name == "medium") return {ScaleLevel::kMedium};
+  if (name == "large") return {ScaleLevel::kLarge};
+  throw std::invalid_argument("unknown scale '" + std::string(name) +
+                              "' (expected small|medium|large)");
+}
+
+Scale Scale::from_flags(const Flags& flags) {
+  std::string fallback = "small";
+  if (const char* env = std::getenv("COBRA_SCALE"); env != nullptr && *env) {
+    fallback = env;
+  }
+  return parse(flags.get("scale", fallback));
+}
+
+std::string Scale::name() const {
+  switch (level) {
+    case ScaleLevel::kMedium: return "medium";
+    case ScaleLevel::kLarge: return "large";
+    case ScaleLevel::kSmall: default: return "small";
+  }
+}
+
+}  // namespace cobra

@@ -1,0 +1,41 @@
+// SPDX-License-Identifier: MIT
+//
+// Experiment sizing. Every bench binary accepts --scale small|medium|large
+// (default from $COBRA_SCALE, else "small" so that `for b in build/bench/*`
+// completes in minutes). The Scale object centralizes how sweep endpoints
+// and trial counts grow so experiment code stays declarative.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "util/flags.hpp"
+
+namespace cobra {
+
+enum class ScaleLevel { kSmall, kMedium, kLarge };
+
+struct Scale {
+  ScaleLevel level = ScaleLevel::kSmall;
+
+  /// Parses "small" / "medium" / "large" (throws on anything else).
+  static Scale parse(std::string_view name);
+
+  /// Resolves the level from --scale, then $COBRA_SCALE, then small.
+  static Scale from_flags(const Flags& flags);
+
+  /// Picks one of three values by level.
+  template <typename T>
+  T pick(T small, T medium, T large) const {
+    switch (level) {
+      case ScaleLevel::kMedium: return medium;
+      case ScaleLevel::kLarge: return large;
+      case ScaleLevel::kSmall: default: return small;
+    }
+  }
+
+  std::string name() const;
+};
+
+}  // namespace cobra

@@ -1,0 +1,44 @@
+// SPDX-License-Identifier: MIT
+//
+// Fixed-width table printer. Every experiment binary in bench/ prints the
+// rows/series the paper's claims predict through this class, so output is
+// uniform and machine-greppable (also emits optional CSV).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cobra {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; cells convert via overloads. Row length must equal the
+  /// header count (checked, throws std::invalid_argument).
+  void add_row(std::vector<std::string> cells);
+
+  /// Cell conversion helpers used by experiment binaries.
+  static std::string cell(std::int64_t value);
+  static std::string cell(std::uint64_t value);
+  static std::string cell(double value, int precision = 3);
+  static std::string cell(const std::string& value) { return value; }
+
+  /// Renders an aligned ASCII table with a separator under the header.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (for plotting pipelines).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cobra

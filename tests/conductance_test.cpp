@@ -1,0 +1,117 @@
+// SPDX-License-Identifier: MIT
+//
+// Conductance and sweep-cut tests, including Cheeger's inequality checked
+// against exact conductance and the dense spectrum on small graphs.
+#include "spectral/conductance.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "spectral/jacobi.hpp"
+
+namespace cobra {
+namespace {
+
+using spectral::exact_conductance;
+using spectral::set_conductance;
+using spectral::sweep_cut;
+
+TEST(SetConductance, HandComputedOnCycle) {
+  // C_6, S = {0,1,2}: cut = 2, vol(S) = 6: h = 1/3.
+  const Graph g = gen::cycle(6);
+  const std::vector<char> s{1, 1, 1, 0, 0, 0};
+  EXPECT_NEAR(set_conductance(g, s), 1.0 / 3.0, 1e-12);
+}
+
+TEST(SetConductance, SingletonOnComplete) {
+  // K_4, S = {0}: cut = 3, vol(S) = 3: h = 1.
+  const Graph g = gen::complete(4);
+  const std::vector<char> s{1, 0, 0, 0};
+  EXPECT_NEAR(set_conductance(g, s), 1.0, 1e-12);
+}
+
+TEST(SetConductance, ComplementSymmetric) {
+  const Graph g = gen::petersen();
+  std::vector<char> s(10, 0);
+  s[0] = s[3] = s[7] = 1;
+  std::vector<char> complement(10, 1);
+  complement[0] = complement[3] = complement[7] = 0;
+  EXPECT_NEAR(set_conductance(g, s), set_conductance(g, complement), 1e-12);
+}
+
+TEST(SetConductance, RejectsEmptyOrFull) {
+  const Graph g = gen::cycle(4);
+  EXPECT_THROW(set_conductance(g, {0, 0, 0, 0}), std::invalid_argument);
+  EXPECT_THROW(set_conductance(g, {1, 1, 1, 1}), std::invalid_argument);
+  EXPECT_THROW(set_conductance(g, {1, 0}), std::invalid_argument);
+}
+
+TEST(ExactConductance, KnownValues) {
+  // Even cycle C_n: best cut is two antipodal halves, h = 2/(2*(n/2)) = 2/n.
+  EXPECT_NEAR(exact_conductance(gen::cycle(8)), 2.0 / 8.0, 1e-12);
+  EXPECT_NEAR(exact_conductance(gen::cycle(12)), 2.0 / 12.0, 1e-12);
+  // K_n: every cut of size s has cut s(n-s), vol s(n-1):
+  // minimized at s = n/2: h = (n/2)/(n-1) for even n.
+  EXPECT_NEAR(exact_conductance(gen::complete(6)), 3.0 / 5.0, 1e-12);
+  // Barbell with single bridge edge: cutting at the bridge gives
+  // h = 1 / vol(one clique side).
+  const Graph bb = gen::barbell(4, 0);
+  // One side: K4 (vol 12) plus the bridge endpoint degree +1 = 13.
+  EXPECT_NEAR(exact_conductance(bb), 1.0 / 13.0, 1e-12);
+}
+
+TEST(ExactConductance, RejectsBadSizes) {
+  EXPECT_THROW(exact_conductance(gen::complete(25)), std::invalid_argument);
+}
+
+TEST(Cheeger, InequalityHoldsOnAtlas) {
+  // (1 - lambda_2)/2 <= h <= sqrt(2 (1 - lambda_2)) with lambda_2 the
+  // signed second-largest eigenvalue.
+  for (const auto& g :
+       {gen::cycle(9), gen::cycle(10), gen::complete(8), gen::petersen(),
+        gen::torus({3, 4}), gen::barbell(4, 0), gen::hypercube(3),
+        gen::lollipop(6, 4)}) {
+    const auto spectrum = spectral::dense_spectrum(g);
+    const double gap2 = 1.0 - spectrum[1];
+    const double h = exact_conductance(g);
+    EXPECT_GE(h, gap2 / 2.0 - 1e-9) << g.name();
+    EXPECT_LE(h, std::sqrt(2.0 * gap2) + 1e-9) << g.name();
+  }
+}
+
+TEST(SweepCut, FindsBarbellBottleneck) {
+  const Graph g = gen::barbell(6, 0);
+  const auto result = sweep_cut(g);
+  // The sweep cut must discover (near-)optimal conductance on a graph with
+  // an obvious bottleneck; exact optimum is 1/vol(side).
+  const double h = exact_conductance(g);
+  EXPECT_NEAR(result.conductance, h, 1e-9);
+  EXPECT_EQ(result.set_size, 6u);  // one clique plus nothing else
+}
+
+TEST(SweepCut, WithinCheegerOfExact) {
+  Rng rng(5);
+  for (const auto& g :
+       {gen::cycle(12), gen::torus({4, 4}), gen::lollipop(8, 6),
+        gen::connected_random_regular(16, 4, rng)}) {
+    const auto spectrum = spectral::dense_spectrum(g);
+    const double gap2 = 1.0 - spectrum[1];
+    const auto result = sweep_cut(g);
+    EXPECT_GE(result.conductance, exact_conductance(g) - 1e-9) << g.name();
+    EXPECT_LE(result.conductance, std::sqrt(2.0 * gap2) + 1e-6) << g.name();
+    EXPECT_GT(result.set_size, 0u);
+    EXPECT_LT(result.set_size, g.num_vertices());
+  }
+}
+
+TEST(SweepCut, IndicatorMatchesReportedConductance) {
+  const Graph g = gen::lollipop(8, 8);
+  const auto result = sweep_cut(g);
+  EXPECT_NEAR(set_conductance(g, result.indicator), result.conductance, 1e-12);
+}
+
+}  // namespace
+}  // namespace cobra

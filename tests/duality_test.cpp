@@ -1,0 +1,189 @@
+// SPDX-License-Identifier: MIT
+//
+// Theorem 4 (duality): P(Hit_C(v) > t | C_0 = C) = P(C cap A_t = empty |
+// A_0 = v). We verify the equality statistically: both sides are estimated
+// by Monte Carlo and compared with a two-proportion z-test at thresholds
+// that make false alarms negligible (|z| < 5 — a 1-in-3.5-million flake
+// rate per comparison under H0).
+//
+// Exact small cases are also checked: on K_2 and small cycles at t = 1 the
+// probabilities are computable in closed form.
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/bips.hpp"
+#include "core/cobra.hpp"
+#include "graph/generators.hpp"
+#include "stats/ztest.hpp"
+
+namespace cobra {
+namespace {
+
+struct DualityCase {
+  std::string label;
+  Graph graph;
+  Vertex start_u;  // COBRA start / BIPS probe
+  Vertex target_v; // COBRA target / BIPS source
+  std::size_t t;
+};
+
+class DualityHolds : public ::testing::TestWithParam<DualityCase> {};
+
+TEST_P(DualityHolds, ZTestPasses) {
+  const auto& c = GetParam();
+  const std::size_t trials = 20000;
+
+  CobraOptions cobra_options;
+  cobra_options.record_curves = false;
+  cobra_options.max_rounds = c.t + 1;
+  BipsOptions bips_options;
+  bips_options.record_curve = false;
+
+  std::uint64_t cobra_not_hit = 0;  // Hit_u(v) > t
+  std::uint64_t bips_not_member = 0;  // u not in A_t
+  const std::vector<Vertex> starts{c.start_u};
+  for (std::size_t i = 0; i < trials; ++i) {
+    Rng rng_cobra = Rng::for_trial(0xD0A1u, 2 * i);
+    Rng rng_bips = Rng::for_trial(0xD0A1u, 2 * i + 1);
+    const auto hit =
+        cobra_hitting_time(c.graph, starts, c.target_v, cobra_options,
+                           rng_cobra);
+    cobra_not_hit += (!hit.has_value() || *hit > c.t);
+    bips_not_member += !bips_membership_after(c.graph, c.target_v, c.start_u,
+                                              c.t, bips_options, rng_bips);
+  }
+  const auto test =
+      two_proportion_ztest(cobra_not_hit, trials, bips_not_member, trials);
+  EXPECT_LT(std::fabs(test.z), 5.0)
+      << c.label << ": cobra=" << test.p1 << " bips=" << test.p2;
+}
+
+std::vector<DualityCase> duality_cases() {
+  Rng rng(2718);
+  std::vector<DualityCase> cases;
+  cases.push_back({"cycle9_t3", gen::cycle(9), 0, 4, 3});
+  cases.push_back({"cycle9_t6", gen::cycle(9), 0, 4, 6});
+  cases.push_back({"complete16_t1", gen::complete(16), 0, 9, 1});
+  cases.push_back({"complete16_t3", gen::complete(16), 0, 9, 3});
+  cases.push_back({"petersen_t2", gen::petersen(), 1, 8, 2});
+  cases.push_back({"petersen_t5", gen::petersen(), 1, 8, 5});
+  cases.push_back({"torus33_t4", gen::torus({3, 3}), 0, 8, 4});
+  cases.push_back({"hypercube4_t3", gen::hypercube(4), 0, 15, 3});
+  cases.push_back(
+      {"rr32_t4", gen::connected_random_regular(32, 4, rng), 3, 17, 4});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Theorem4, DualityHolds, ::testing::ValuesIn(duality_cases()),
+    [](const ::testing::TestParamInfo<DualityCase>& info) {
+      return info.param.label;
+    });
+
+// Exact check on K_2 at t = 1 with k = 2: from u, both pushes go to v, so
+// Hit_u(v) = 1 always: P(Hit > 1) = 0. Dually, u samples v twice; v is the
+// infected source, so u is always in A_1.
+TEST(DualityExact, K2OneRound) {
+  const Graph g = gen::complete(2);
+  const std::vector<Vertex> starts{0};
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    Rng rng_cobra(seed);
+    Rng rng_bips(seed + 999);
+    const auto hit = cobra_hitting_time(g, starts, 1, {}, rng_cobra);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, 1u);
+    EXPECT_TRUE(bips_membership_after(g, 1, 0, 1, {}, rng_bips));
+  }
+}
+
+// Exact check on the triangle at t = 1: from u, each of the 2 pushes picks
+// v with probability 1/2, so P(Hit_u(v) > 1) = (1/2)^2 = 1/4. Dually u
+// selects 2 of its 2 neighbours (one of which is the source v):
+// P(u misses v twice) = 1/4.
+TEST(DualityExact, TriangleOneRound) {
+  const Graph g = gen::complete(3);
+  const std::vector<Vertex> starts{0};
+  const std::size_t trials = 40000;
+  std::uint64_t cobra_miss = 0;
+  std::uint64_t bips_miss = 0;
+  CobraOptions cobra_options;
+  cobra_options.max_rounds = 2;
+  for (std::size_t i = 0; i < trials; ++i) {
+    Rng rng_cobra = Rng::for_trial(0x7A17u, i);
+    Rng rng_bips = Rng::for_trial(0xB1B5u, i);
+    const auto hit = cobra_hitting_time(g, starts, 2, cobra_options, rng_cobra);
+    cobra_miss += (!hit.has_value() || *hit > 1);
+    bips_miss += !bips_membership_after(g, 2, 0, 1, {}, rng_bips);
+  }
+  const double p_cobra = static_cast<double>(cobra_miss) / trials;
+  const double p_bips = static_cast<double>(bips_miss) / trials;
+  // 5 sigma of a Bernoulli(0.25) mean over 40000 trials is ~0.011.
+  EXPECT_NEAR(p_cobra, 0.25, 0.011);
+  EXPECT_NEAR(p_bips, 0.25, 0.011);
+}
+
+// Duality with a SET start: C_0 = {u1, u2}. Theorem 4 covers arbitrary C.
+TEST(DualitySet, TwoVertexStart) {
+  const Graph g = gen::petersen();
+  const std::vector<Vertex> starts{0, 5};
+  const Vertex v = 9;
+  const std::size_t t = 2;
+  const std::size_t trials = 20000;
+  std::uint64_t cobra_not_hit = 0;
+  std::uint64_t bips_disjoint = 0;
+  CobraOptions cobra_options;
+  cobra_options.record_curves = false;
+  cobra_options.max_rounds = t + 1;
+  BipsOptions bips_options;
+  bips_options.record_curve = false;
+  for (std::size_t i = 0; i < trials; ++i) {
+    Rng rng_cobra = Rng::for_trial(0x5E70u, 2 * i);
+    Rng rng_bips = Rng::for_trial(0x5E70u, 2 * i + 1);
+    const auto hit = cobra_hitting_time(g, starts, v, cobra_options, rng_cobra);
+    cobra_not_hit += (!hit.has_value() || *hit > t);
+    BipsProcess process(g, v, bips_options);
+    for (std::size_t s = 0; s < t; ++s) process.step(rng_bips);
+    bips_disjoint += (!process.is_infected(0) && !process.is_infected(5));
+  }
+  const auto test =
+      two_proportion_ztest(cobra_not_hit, trials, bips_disjoint, trials);
+  EXPECT_LT(std::fabs(test.z), 5.0)
+      << "cobra=" << test.p1 << " bips=" << test.p2;
+}
+
+// The duality also holds for k = 1 and k = 3; spot-check k variations.
+TEST(DualityBranching, K1AndK3) {
+  const Graph g = gen::cycle(7);
+  for (const unsigned k : {1u, 3u}) {
+    const std::size_t t = 3;
+    const std::size_t trials = 20000;
+    std::uint64_t cobra_not_hit = 0;
+    std::uint64_t bips_not_member = 0;
+    CobraOptions cobra_options;
+    cobra_options.branching = Branching::fixed(k);
+    cobra_options.record_curves = false;
+    cobra_options.max_rounds = t + 1;
+    BipsOptions bips_options;
+    bips_options.branching = Branching::fixed(k);
+    bips_options.record_curve = false;
+    const std::vector<Vertex> starts{0};
+    for (std::size_t i = 0; i < trials; ++i) {
+      Rng rng_cobra = Rng::for_trial(0xC000u + k, 2 * i);
+      Rng rng_bips = Rng::for_trial(0xC000u + k, 2 * i + 1);
+      const auto hit =
+          cobra_hitting_time(g, starts, 3, cobra_options, rng_cobra);
+      cobra_not_hit += (!hit.has_value() || *hit > t);
+      bips_not_member +=
+          !bips_membership_after(g, 3, 0, t, bips_options, rng_bips);
+    }
+    const auto test =
+        two_proportion_ztest(cobra_not_hit, trials, bips_not_member, trials);
+    EXPECT_LT(std::fabs(test.z), 5.0) << "k=" << k;
+  }
+}
+
+}  // namespace
+}  // namespace cobra

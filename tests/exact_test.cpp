@@ -1,0 +1,236 @@
+// SPDX-License-Identifier: MIT
+//
+// Exact-enumeration engine tests. The headline is the EXACT verification
+// of Theorem 4: on every small graph we can enumerate, the COBRA hitting
+// tail equals the BIPS membership complement to floating-point precision —
+// no Monte Carlo tolerance involved. We also cross-validate the exact
+// engine against hand-computed probabilities and against the simulators.
+#include "core/exact.hpp"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/bips.hpp"
+#include "core/cobra.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace cobra {
+namespace {
+
+using exact::Mask;
+
+TEST(ExactBips, VertexProbabilityHandComputed) {
+  // Triangle, u = 0, infected = {1}: d_A(0) = 1 of 2, k = 2:
+  // P = 1 - (1/2)^2 = 3/4.
+  const Graph g = gen::complete(3);
+  EXPECT_NEAR(exact::bips_vertex_infection_probability(g, 0, 0b010, 2), 0.75,
+              1e-15);
+  // infected = {1,2}: P = 1.
+  EXPECT_NEAR(exact::bips_vertex_infection_probability(g, 0, 0b110, 2), 1.0,
+              1e-15);
+  // infected = {}: P = 0.
+  EXPECT_NEAR(exact::bips_vertex_infection_probability(g, 0, 0b000, 2), 0.0,
+              1e-15);
+}
+
+TEST(ExactBips, DistributionSumsToOne) {
+  const Graph g = gen::cycle(6);
+  for (const std::size_t t : {0u, 1u, 2u, 5u}) {
+    const auto dist = exact::bips_distribution(g, 0, t, 2);
+    double total = 0.0;
+    for (const double p : dist) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-12) << "t=" << t;
+  }
+}
+
+TEST(ExactBips, SourceAlwaysInfectedInSupport) {
+  const Graph g = gen::petersen();
+  const auto dist = exact::bips_distribution(g, 3, 3, 2);
+  for (Mask mask = 0; mask < dist.size(); ++mask) {
+    if (dist[mask] > 0) EXPECT_TRUE((mask >> 3) & 1u);
+  }
+}
+
+TEST(ExactBips, MembershipAtTimeZero) {
+  const Graph g = gen::cycle(5);
+  EXPECT_NEAR(exact::bips_membership_probability(g, 2, 2, 0, 2), 1.0, 1e-15);
+  EXPECT_NEAR(exact::bips_membership_probability(g, 2, 0, 0, 2), 0.0, 1e-15);
+}
+
+TEST(ExactBips, K2OneRoundOnK2) {
+  // On K_2 the non-source vertex samples the source twice: always infected.
+  const Graph g = gen::complete(2);
+  EXPECT_NEAR(exact::bips_membership_probability(g, 1, 0, 1, 2), 1.0, 1e-15);
+}
+
+TEST(ExactCobra, StepDistributionSumsToOne) {
+  const Graph g = gen::cycle(5);
+  for (const Mask mask : {Mask{0b00001}, Mask{0b00101}, Mask{0b11111}}) {
+    const auto dist = exact::cobra_step_distribution(g, mask, 2);
+    double total = 0.0;
+    for (const double p : dist) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-12) << "mask=" << mask;
+  }
+}
+
+TEST(ExactCobra, StepSupportIsNeighbourhood) {
+  // From {v}, the next frontier must be a non-empty subset of N(v) of size
+  // at most k.
+  const Graph g = gen::cycle(6);
+  const auto dist = exact::cobra_step_distribution(g, Mask{1} << 2, 2);
+  for (Mask mask = 0; mask < dist.size(); ++mask) {
+    if (dist[mask] == 0.0) continue;
+    EXPECT_NE(mask, 0u);
+    EXPECT_LE(__builtin_popcount(mask), 2);
+    for (Vertex v = 0; v < 6; ++v) {
+      if ((mask >> v) & 1u) EXPECT_TRUE(g.has_edge(2, v));
+    }
+  }
+}
+
+TEST(ExactCobra, TriangleOneRoundHandComputed) {
+  // From {0} on the triangle with k = 2: both pushes uniform on {1,2};
+  // P(next = {1}) = P(next = {2}) = 1/4, P(next = {1,2}) = 1/2.
+  const Graph g = gen::complete(3);
+  const auto dist = exact::cobra_step_distribution(g, 0b001, 2);
+  EXPECT_NEAR(dist[0b010], 0.25, 1e-15);
+  EXPECT_NEAR(dist[0b100], 0.25, 1e-15);
+  EXPECT_NEAR(dist[0b110], 0.50, 1e-15);
+}
+
+TEST(ExactCobra, HittingTailHandComputed) {
+  // Triangle, start {0}, target 2, t = 1: survive iff both pushes chose 1:
+  // 1/4 (matches the Monte Carlo test in duality_test.cpp).
+  const Graph g = gen::complete(3);
+  EXPECT_NEAR(exact::cobra_hitting_tail(g, 0b001, 2, 1, 2), 0.25, 1e-15);
+  // Target already in start set: tail is 0.
+  EXPECT_NEAR(exact::cobra_hitting_tail(g, 0b100, 2, 3, 2), 0.0, 1e-15);
+}
+
+TEST(ExactCobra, TailIsMonotoneNonIncreasingInT) {
+  const Graph g = gen::petersen();
+  double prev = 1.0;
+  for (std::size_t t = 0; t <= 6; ++t) {
+    const double tail = exact::cobra_hitting_tail(g, 0b1, 9, t, 2);
+    EXPECT_LE(tail, prev + 1e-15);
+    prev = tail;
+  }
+}
+
+// ---- the headline: Theorem 4 duality, EXACTLY ----
+
+struct ExactDualityCase {
+  std::string label;
+  Graph graph;
+  Mask start;      // COBRA start set C
+  Vertex target;   // v (BIPS source)
+  unsigned k;
+};
+
+class ExactDuality : public ::testing::TestWithParam<ExactDualityCase> {};
+
+TEST_P(ExactDuality, EqualityHoldsToMachinePrecision) {
+  const auto& c = GetParam();
+  for (std::size_t t = 0; t <= 5; ++t) {
+    const double cobra_tail =
+        exact::cobra_hitting_tail(c.graph, c.start, c.target, t, c.k);
+    // P(C cap A_t = empty | A_0 = {v}).
+    const auto dist = exact::bips_distribution(c.graph, c.target, t, c.k);
+    double disjoint = 0.0;
+    for (Mask mask = 0; mask < dist.size(); ++mask) {
+      if ((mask & c.start) == 0) disjoint += dist[mask];
+    }
+    EXPECT_NEAR(cobra_tail, disjoint, 1e-10) << c.label << " t=" << t;
+  }
+}
+
+std::vector<ExactDualityCase> exact_duality_cases() {
+  std::vector<ExactDualityCase> cases;
+  cases.push_back({"k2_k2", gen::complete(2), 0b01, 1, 2});
+  cases.push_back({"triangle_k2", gen::complete(3), 0b001, 2, 2});
+  cases.push_back({"triangle_k1", gen::complete(3), 0b001, 2, 1});
+  cases.push_back({"triangle_k3", gen::complete(3), 0b001, 2, 3});
+  cases.push_back({"cycle5", gen::cycle(5), 0b00001, 2, 2});
+  cases.push_back({"cycle6_far", gen::cycle(6), 0b000001, 3, 2});
+  cases.push_back({"cycle7_set", gen::cycle(7), 0b0010001, 3, 2});
+  cases.push_back({"path4", gen::path(4), 0b0001, 3, 2});
+  cases.push_back({"star5", gen::star(5), 0b00010, 3, 2});
+  cases.push_back({"k5_set_start", gen::complete(5), 0b00011, 4, 2});
+  cases.push_back({"petersen", gen::petersen(), 0b1, 9, 2});
+  cases.push_back({"bipartite_k23", gen::complete_bipartite(2, 3), 0b00001, 4, 2});
+  cases.push_back({"torus33", gen::torus({3, 3}), 0b1, 8, 2});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Theorem4Exact, ExactDuality, ::testing::ValuesIn(exact_duality_cases()),
+    [](const ::testing::TestParamInfo<ExactDualityCase>& info) {
+      return info.param.label;
+    });
+
+// ---- exact engine vs the Monte Carlo simulators ----
+
+TEST(ExactVsSimulation, BipsMembershipMatches) {
+  const Graph g = gen::cycle(7);
+  const std::size_t t = 3;
+  const double exact_p = exact::bips_membership_probability(g, 0, 3, t, 2);
+  const std::size_t trials = 200000;
+  std::size_t hits = 0;
+  BipsOptions options;
+  options.record_curve = false;
+  for (std::size_t i = 0; i < trials; ++i) {
+    Rng rng = Rng::for_trial(0xE5A, i);
+    hits += bips_membership_after(g, 0, 3, t, options, rng);
+  }
+  const double simulated = static_cast<double>(hits) / trials;
+  // 5 sigma for a Bernoulli over 200k trials is ~0.0056 at worst.
+  EXPECT_NEAR(simulated, exact_p, 0.006);
+}
+
+TEST(ExactVsSimulation, CobraHittingTailMatches) {
+  const Graph g = gen::petersen();
+  const std::size_t t = 3;
+  const double exact_tail = exact::cobra_hitting_tail(g, 0b1, 7, t, 2);
+  const std::size_t trials = 200000;
+  std::size_t misses = 0;
+  CobraOptions options;
+  options.record_curves = false;
+  options.max_rounds = t + 1;
+  const std::vector<Vertex> starts{0};
+  for (std::size_t i = 0; i < trials; ++i) {
+    Rng rng = Rng::for_trial(0xE5B, i);
+    const auto hit = cobra_hitting_time(g, starts, 7, options, rng);
+    misses += (!hit.has_value() || *hit > t);
+  }
+  const double simulated = static_cast<double>(misses) / trials;
+  EXPECT_NEAR(simulated, exact_tail, 0.006);
+}
+
+TEST(ExactLemma1, ExpectedGrowthRespectsBound) {
+  // Exact E(|A_{t+1}|) against the Lemma 1 bound on the Petersen graph
+  // (lambda = 2/3), for every infected set containing the source.
+  const Graph g = gen::petersen();
+  const double lambda = 2.0 / 3.0;
+  const double n = 10.0;
+  for (Mask mask = 1; mask < (1u << 10); mask += 2) {  // source = 0 in mask
+    const double a = __builtin_popcount(mask);
+    const double expected = exact::bips_expected_next_size(g, 0, mask, 2);
+    const double bound = a * (1.0 + (1.0 - lambda * lambda) * (1.0 - a / n));
+    EXPECT_GE(expected, bound - 1e-9) << "mask=" << mask;
+  }
+}
+
+TEST(ExactValidation, RejectsBadInputs) {
+  const Graph big = gen::cycle(20);
+  EXPECT_THROW(exact::bips_distribution(big, 0, 1, 2), std::invalid_argument);
+  const Graph g = gen::cycle(5);
+  EXPECT_THROW(exact::bips_distribution(g, 0, 1, 0), std::invalid_argument);
+  EXPECT_THROW(exact::cobra_hitting_tail(g, 0, 1, 1, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cobra

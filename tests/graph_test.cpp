@@ -1,0 +1,185 @@
+// SPDX-License-Identifier: MIT
+//
+// Unit tests for the CSR Graph and GraphBuilder.
+#include "graph/graph.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/io.hpp"
+
+namespace cobra {
+namespace {
+
+Graph triangle() {
+  GraphBuilder builder(3);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 2);
+  builder.add_edge(2, 0);
+  return builder.build("triangle");
+}
+
+TEST(Graph, EmptyGraph) {
+  const Graph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_FALSE(g.is_regular());
+}
+
+TEST(Graph, TriangleBasics) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.regularity(), 2);
+  EXPECT_EQ(g.min_degree(), 2u);
+  EXPECT_EQ(g.max_degree(), 2u);
+  EXPECT_EQ(g.name(), "triangle");
+}
+
+TEST(Graph, NeighborListsAreSorted) {
+  GraphBuilder builder(5);
+  builder.add_edge(4, 0);
+  builder.add_edge(2, 0);
+  builder.add_edge(0, 3);
+  builder.add_edge(0, 1);
+  const Graph g = builder.build("star5");
+  const auto nbrs = g.neighbors(0);
+  ASSERT_EQ(nbrs.size(), 4u);
+  for (std::size_t i = 1; i < nbrs.size(); ++i) {
+    EXPECT_LT(nbrs[i - 1], nbrs[i]);
+  }
+}
+
+TEST(Graph, HasEdgeBothDirections) {
+  const Graph g = triangle();
+  for (Vertex u = 0; u < 3; ++u) {
+    for (Vertex v = 0; v < 3; ++v) {
+      EXPECT_EQ(g.has_edge(u, v), u != v) << u << "," << v;
+    }
+  }
+}
+
+TEST(Graph, HasEdgeOutOfRangeIsFalse) {
+  const Graph g = triangle();
+  EXPECT_FALSE(g.has_edge(0, 7));
+  EXPECT_FALSE(g.has_edge(7, 0));
+}
+
+TEST(Graph, NeighborAccessor) {
+  const Graph g = triangle();
+  for (Vertex v = 0; v < 3; ++v) {
+    for (std::size_t i = 0; i < g.degree(v); ++i) {
+      EXPECT_EQ(g.neighbor(v, i), g.neighbors(v)[i]);
+    }
+  }
+}
+
+TEST(Graph, IrregularDetection) {
+  GraphBuilder builder(3);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 2);
+  const Graph g = builder.build("path3");
+  EXPECT_FALSE(g.is_regular());
+  EXPECT_EQ(g.regularity(), -1);
+  EXPECT_EQ(g.min_degree(), 1u);
+  EXPECT_EQ(g.max_degree(), 2u);
+}
+
+TEST(GraphBuilder, RejectsSelfLoop) {
+  GraphBuilder builder(3);
+  EXPECT_THROW(builder.add_edge(1, 1), std::invalid_argument);
+}
+
+TEST(GraphBuilder, RejectsOutOfRange) {
+  GraphBuilder builder(3);
+  EXPECT_THROW(builder.add_edge(0, 3), std::invalid_argument);
+  EXPECT_THROW(builder.add_edge(5, 0), std::invalid_argument);
+}
+
+TEST(GraphBuilder, RejectsDuplicateAtBuild) {
+  GraphBuilder builder(3);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 0);  // same undirected edge
+  EXPECT_THROW(builder.build("dup"), std::invalid_argument);
+}
+
+TEST(GraphBuilder, BuildDedupDropsDuplicates) {
+  GraphBuilder builder(3);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 0);
+  builder.add_edge(1, 2);
+  const Graph g = builder.build_dedup("dedup");
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+TEST(GraphBuilder, HasEdgeQueuedNormalizesOrientation) {
+  GraphBuilder builder(4);
+  builder.add_edge(2, 1);
+  EXPECT_TRUE(builder.has_edge_queued(1, 2));
+  EXPECT_TRUE(builder.has_edge_queued(2, 1));
+  EXPECT_FALSE(builder.has_edge_queued(0, 1));
+}
+
+TEST(GraphBuilder, EdgelessGraph) {
+  GraphBuilder builder(4);
+  const Graph g = builder.build("isolated");
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.regularity(), 0);
+}
+
+TEST(GraphIo, EdgeListRoundTrip) {
+  const Graph g = triangle();
+  std::stringstream buffer;
+  write_edge_list(g, buffer);
+  const Graph back = read_edge_list(buffer, "triangle2");
+  EXPECT_EQ(back.num_vertices(), g.num_vertices());
+  EXPECT_EQ(back.num_edges(), g.num_edges());
+  for (Vertex u = 0; u < 3; ++u) {
+    for (Vertex v = 0; v < 3; ++v) {
+      EXPECT_EQ(back.has_edge(u, v), g.has_edge(u, v));
+    }
+  }
+}
+
+TEST(GraphIo, ReadRejectsMissingHeader) {
+  std::stringstream buffer("0 1\n");
+  EXPECT_THROW(read_edge_list(buffer), std::invalid_argument);
+}
+
+TEST(GraphIo, ReadRejectsMalformedEdge) {
+  std::stringstream buffer("n 3\n0\n");
+  EXPECT_THROW(read_edge_list(buffer), std::invalid_argument);
+}
+
+TEST(GraphIo, ReadRejectsOutOfRangeEndpoint) {
+  std::stringstream buffer("n 2\n0 5\n");
+  EXPECT_THROW(read_edge_list(buffer), std::invalid_argument);
+}
+
+TEST(GraphIo, ReadSkipsCommentsAndBlankLines) {
+  std::stringstream buffer("# hello\nn 3\n\n# edge next\n0 1\n");
+  const Graph g = read_edge_list(buffer);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphIo, DotOutputContainsAllEdges) {
+  const Graph g = triangle();
+  std::stringstream buffer;
+  write_dot(g, buffer);
+  const std::string dot = buffer.str();
+  EXPECT_NE(dot.find("0 -- 1"), std::string::npos);
+  EXPECT_NE(dot.find("1 -- 2"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cobra

@@ -1,0 +1,110 @@
+// SPDX-License-Identifier: MIT
+//
+// Tests for induced subgraphs and component extraction.
+#include "graph/subgraph.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "graph/analysis.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace cobra {
+namespace {
+
+Graph two_components() {
+  // Triangle {0,1,2} and edge {3,4}.
+  GraphBuilder builder(5);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 2);
+  builder.add_edge(2, 0);
+  builder.add_edge(3, 4);
+  return builder.build("tri_plus_edge");
+}
+
+TEST(InducedSubgraph, KeepsInternalEdgesOnly) {
+  const Graph g = gen::complete(6);
+  const std::vector<Vertex> keep{1, 3, 5};
+  std::vector<Vertex> old_ids;
+  const Graph sub = induced_subgraph(g, keep, &old_ids);
+  EXPECT_EQ(sub.num_vertices(), 3u);
+  EXPECT_EQ(sub.num_edges(), 3u);  // K3
+  EXPECT_EQ(old_ids, (std::vector<Vertex>{1, 3, 5}));
+}
+
+TEST(InducedSubgraph, RenumbersInSortedOrder) {
+  const Graph g = gen::cycle(6);
+  const std::vector<Vertex> keep{4, 2, 3};
+  std::vector<Vertex> old_ids;
+  const Graph sub = induced_subgraph(g, keep, &old_ids);
+  EXPECT_EQ(old_ids, (std::vector<Vertex>{2, 3, 4}));
+  // Path 2-3-4 survives as 0-1-2.
+  EXPECT_TRUE(sub.has_edge(0, 1));
+  EXPECT_TRUE(sub.has_edge(1, 2));
+  EXPECT_FALSE(sub.has_edge(0, 2));
+}
+
+TEST(InducedSubgraph, DeduplicatesInput) {
+  const Graph g = gen::cycle(5);
+  const std::vector<Vertex> keep{1, 1, 2, 2};
+  const Graph sub = induced_subgraph(g, keep);
+  EXPECT_EQ(sub.num_vertices(), 2u);
+  EXPECT_EQ(sub.num_edges(), 1u);
+}
+
+TEST(InducedSubgraph, RejectsOutOfRange) {
+  const Graph g = gen::cycle(4);
+  const std::vector<Vertex> keep{0, 9};
+  EXPECT_THROW(induced_subgraph(g, keep), std::invalid_argument);
+}
+
+TEST(InducedSubgraph, EmptySelection) {
+  const Graph g = gen::cycle(4);
+  const Graph sub = induced_subgraph(g, {});
+  EXPECT_EQ(sub.num_vertices(), 0u);
+}
+
+TEST(ComponentIds, LabelsComponentsInDiscoveryOrder) {
+  const Graph g = two_components();
+  const auto ids = component_ids(g);
+  EXPECT_EQ(ids[0], 0u);
+  EXPECT_EQ(ids[1], 0u);
+  EXPECT_EQ(ids[2], 0u);
+  EXPECT_EQ(ids[3], 1u);
+  EXPECT_EQ(ids[4], 1u);
+}
+
+TEST(LargestComponent, PicksTheTriangle) {
+  const Graph g = two_components();
+  std::vector<Vertex> old_ids;
+  const Graph big = largest_component(g, &old_ids);
+  EXPECT_EQ(big.num_vertices(), 3u);
+  EXPECT_EQ(big.num_edges(), 3u);
+  EXPECT_EQ(old_ids, (std::vector<Vertex>{0, 1, 2}));
+  EXPECT_TRUE(is_connected(big));
+}
+
+TEST(LargestComponent, ConnectedGraphIsIdentity) {
+  const Graph g = gen::petersen();
+  const Graph big = largest_component(g);
+  EXPECT_EQ(big.num_vertices(), 10u);
+  EXPECT_EQ(big.num_edges(), 15u);
+}
+
+TEST(LargestComponent, GiantComponentOfSupercriticalEr) {
+  Rng rng(9);
+  // G(n, 3/n) is supercritical: the giant component holds most vertices.
+  const Graph g = gen::erdos_renyi(2000, 3.0 / 2000.0, rng);
+  const Graph giant = largest_component(g);
+  EXPECT_GT(giant.num_vertices(), 1000u);
+  EXPECT_TRUE(is_connected(giant));
+}
+
+TEST(LargestComponent, RejectsEmptyGraph) {
+  EXPECT_THROW(largest_component(Graph()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cobra
