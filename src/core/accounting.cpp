@@ -7,6 +7,12 @@ namespace cobra {
 
 void Accounting::begin_round() { per_round_.push_back(0); }
 
+void Accounting::reset() {
+  per_round_.clear();
+  total_ = 0;
+  peak_vertex_ = 0;
+}
+
 void Accounting::record_vertex_send(std::uint64_t count) {
   if (per_round_.empty()) begin_round();
   per_round_.back() += count;

@@ -15,6 +15,9 @@ class Accounting {
   /// Starts a new round.
   void begin_round();
 
+  /// Discards all recorded rounds; used when a process is reset for reuse.
+  void reset();
+
   /// Records `count` messages sent by one vertex in the current round.
   void record_vertex_send(std::uint64_t count);
 

@@ -1,9 +1,19 @@
 // SPDX-License-Identifier: MIT
 #include "core/bips.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "rand/sampling.hpp"
+
 namespace cobra {
+
+namespace {
+/// Scan -> list transitions rebuild the neighbour counts (O(m)); ration
+/// them so instances where the boundary never shrinks (complete graphs:
+/// every vertex is undecided until the very last round) cannot thrash.
+constexpr int kMaxCountRebuilds = 4;
+}  // namespace
 
 BipsProcess::BipsProcess(const Graph& g, Vertex source, BipsOptions options)
     : BipsProcess(g, std::span<const Vertex>(&source, 1), std::move(options)) {}
@@ -11,16 +21,14 @@ BipsProcess::BipsProcess(const Graph& g, Vertex source, BipsOptions options)
 BipsProcess::BipsProcess(const Graph& g, std::span<const Vertex> sources,
                          BipsOptions options)
     : graph_(&g),
-      source_(sources.empty() ? 0 : sources.front()),
-      is_source_(g.num_vertices(), 0),
       options_(std::move(options)),
+      is_source_(g.num_vertices(), 0),
       infected_(g.num_vertices(), 0),
-      next_infected_(g.num_vertices(), 0) {
+      next_infected_(g.num_vertices(), 0),
+      inf_nbrs_(g.num_vertices(), 0),
+      cand_mark_(g.num_vertices(), 0) {
   if (g.num_vertices() == 0) {
     throw std::invalid_argument("BipsProcess requires a non-empty graph");
-  }
-  if (sources.empty()) {
-    throw std::invalid_argument("BipsProcess requires >= 1 source");
   }
   if (g.min_degree() == 0) {
     throw std::invalid_argument("BipsProcess requires min degree >= 1");
@@ -28,57 +36,241 @@ BipsProcess::BipsProcess(const Graph& g, std::span<const Vertex> sources,
   if (!options_.branching.is_fractional() && options_.branching.k == 0) {
     throw std::invalid_argument("BipsProcess requires branching k >= 1");
   }
-  std::size_t count = 0;
+  reset(sources);
+}
+
+void BipsProcess::reset(Vertex source) {
+  reset(std::span<const Vertex>(&source, 1));
+}
+
+void BipsProcess::reset(std::span<const Vertex> sources) {
+  if (sources.empty()) {
+    throw std::invalid_argument("BipsProcess requires >= 1 source");
+  }
   for (const Vertex s : sources) {
-    if (s >= g.num_vertices()) {
+    if (s >= graph_->num_vertices()) {
       throw std::invalid_argument("BIPS source out of range");
     }
-    if (!is_source_[s]) {
-      is_source_[s] = 1;
-      infected_[s] = 1;
-      ++count;
+  }
+  round_ = 0;
+  probes_total_ = 0;
+  probes_peak_vertex_ = 0;
+  rebuilds_left_ = kMaxCountRebuilds;
+  for (const Vertex s : sources_) is_source_[s] = 0;  // undo previous trial
+  std::fill(infected_.begin(), infected_.end(), char{0});
+  std::fill(inf_nbrs_.begin(), inf_nbrs_.end(), 0u);
+  std::fill(cand_mark_.begin(), cand_mark_.end(), 0u);
+  sources_.assign(sources.begin(), sources.end());
+  std::sort(sources_.begin(), sources_.end());
+  sources_.erase(std::unique(sources_.begin(), sources_.end()),
+                 sources_.end());
+  for (const Vertex s : sources_) {
+    is_source_[s] = 1;
+    infected_[s] = 1;
+  }
+  infected_count_ = sources_.size();
+  for (const Vertex s : sources_) {
+    for (const Vertex u : graph_->neighbors(s)) ++inf_nbrs_[u];
+  }
+  // Initial active list: non-source neighbours of the sources (everything
+  // else has zero infected neighbours and is stably healthy).
+  cand_.clear();
+  for (const Vertex s : sources_) {
+    for (const Vertex u : graph_->neighbors(s)) {
+      if (!is_source_[u]) cand_.push_back(u);
     }
   }
-  infected_count_ = count;
+  std::sort(cand_.begin(), cand_.end());
+  cand_.erase(std::unique(cand_.begin(), cand_.end()), cand_.end());
+  std::erase_if(cand_, [this](Vertex u) { return !needs_processing(u); });
+  active_estimate_ = cand_.size();
+  scan_mode_ = active_estimate_ >= graph_->num_vertices() / 8;
+}
+
+bool BipsProcess::needs_processing(Vertex u) const noexcept {
+  const std::uint32_t c = inf_nbrs_[u];
+  const bool cur = infected_[u] != 0;
+  if (c == 0) return cur;  // forced healthy; needs a flip iff infected now
+  const auto d = static_cast<std::uint32_t>(graph_->degree(u));
+  if (c == d) return !cur;  // forced infected; needs a flip iff healthy now
+  return true;              // undecided
+}
+
+void BipsProcess::rebuild_counts_and_list() {
+  std::fill(inf_nbrs_.begin(), inf_nbrs_.end(), 0u);
+  const std::size_t n = graph_->num_vertices();
+  for (Vertex v = 0; v < n; ++v) {
+    if (!infected_[v]) continue;
+    for (const Vertex u : graph_->neighbors(v)) ++inf_nbrs_[u];
+  }
+  cand_.clear();
+  for (Vertex u = 0; u < n; ++u) {
+    if (!is_source_[u] && needs_processing(u)) cand_.push_back(u);
+  }
 }
 
 std::size_t BipsProcess::step(Rng& rng) {
   const std::size_t n = graph_->num_vertices();
+  const auto marker = static_cast<std::uint32_t>(round_) + 1;
   const Branching& branching = options_.branching;
-  std::size_t count = 0;
-  for (Vertex u = 0; u < n; ++u) {
-    if (is_source_[u]) {
-      next_infected_[u] = 1;
-      ++count;
-      continue;
+  const bool fractional = branching.is_fractional();
+  BernoulliSkipper extra(fractional ? branching.rho : 0.0);
+  flips_.clear();
+  newly_.clear();
+
+  const std::size_t* offsets = graph_->offsets().data();
+  const Vertex* adjacency = graph_->adjacency().data();
+  const int regular = graph_->regularity();
+  const char* infected = infected_.data();
+  std::uint64_t peak = probes_peak_vertex_;
+
+  const auto neighbor_block = [&](Vertex u, std::uint32_t& degree) {
+    if (regular >= 0) {
+      degree = static_cast<std::uint32_t>(regular);
+      return adjacency + static_cast<std::size_t>(u) * degree;
     }
-    const auto degree = graph_->degree(u);
-    const unsigned draws = branching.is_fractional()
-                               ? 1u + (rng.bernoulli(branching.rho) ? 1u : 0u)
-                               : branching.k;
-    char hit = 0;
-    for (unsigned i = 0; i < draws; ++i) {
-      const Vertex w = graph_->neighbor(
-          u, static_cast<std::size_t>(rng.next_below(degree)));
-      if (infected_[w]) {
-        // Early exit is distribution-preserving: the remaining draws are
-        // independent and influence nothing but this indicator.
-        hit = 1;
-        break;
+    const std::size_t begin = offsets[u];
+    degree = static_cast<std::uint32_t>(offsets[u + 1] - begin);
+    return adjacency + begin;
+  };
+
+  // Draws neighbours of u until the first infected hit (the early exit is
+  // distribution-preserving: the omitted draws are independent and
+  // influence nothing but this indicator). In fractional mode the extra
+  // draw exists with probability rho, asked only when the first draw
+  // misses (conditionally identical).
+  const auto sample = [&](std::uint32_t degree, const Vertex* nbrs) -> bool {
+    std::uint64_t drawn = 1;
+    bool hit = infected[nbrs[rng.next_below32(degree)]] != 0;
+    if (fractional) {
+      if (!hit && extra.next(rng)) {
+        drawn = 2;
+        hit = infected[nbrs[rng.next_below32(degree)]] != 0;
+      }
+    } else {
+      for (unsigned i = 1; i < branching.k && !hit; ++i) {
+        ++drawn;
+        hit = infected[nbrs[rng.next_below32(degree)]] != 0;
       }
     }
-    next_infected_[u] = hit;
-    count += hit;
+    probes_total_ += drawn;
+    if (drawn > peak) peak = drawn;
+    return hit;
+  };
+
+  if (scan_mode_) {
+    // Plain pass over every vertex with double-buffered state writes —
+    // byte-for-byte the baseline loop. While the boundary is a large
+    // fraction of n this is cheaper than maintaining counts and lists.
+    char* next_state = next_infected_.data();
+    std::size_t count = 0;
+    std::size_t changed = 0;
+    for (Vertex u = 0; u < n; ++u) {
+      if (is_source_[u]) {
+        next_state[u] = 1;
+        ++count;
+        continue;
+      }
+      std::uint32_t degree;
+      const Vertex* nbrs = neighbor_block(u, degree);
+      const char hit = sample(degree, nbrs) ? 1 : 0;
+      next_state[u] = hit;
+      count += hit;
+      changed += (hit != infected[u]);
+    }
+    infected_.swap(next_infected_);
+    infected_count_ = count;
+    active_estimate_ = n - sources_.size();
+    // Tail transition: nearly saturated and quiet. Rebuilding the counts
+    // costs one O(m) sweep, rationed per trial; if the rebuilt boundary
+    // turns out structurally large (complete-graph-like), go straight
+    // back to scanning and stop trying.
+    const std::size_t healthy = n - infected_count_;
+    if (rebuilds_left_ > 0 && healthy * 16 < n && changed * 16 < n) {
+      --rebuilds_left_;
+      rebuild_counts_and_list();
+      if (cand_.size() >= n / 8) {
+        rebuilds_left_ = 0;  // boundary stays wide; scanning is optimal
+      } else {
+        scan_mode_ = false;
+        active_estimate_ = cand_.size();
+      }
+    }
+  } else {
+    // List mode: evaluate exactly the undecided / flip-due vertices, in
+    // ascending order. Vertices with forced outcomes draw nothing — the
+    // skip is distribution-preserving, like the early exit.
+    next_cand_.clear();
+    for (const Vertex u : cand_) {
+      const std::uint32_t c = inf_nbrs_[u];
+      const bool cur = infected[u] != 0;
+      if (c == 0) {
+        if (cur) flips_.push_back(u);  // forced recovery
+        continue;                      // stably healthy: drops off the list
+      }
+      std::uint32_t degree;
+      const Vertex* nbrs = neighbor_block(u, degree);
+      if (c == degree) {
+        if (!cur) flips_.push_back(u);  // forced infection
+        continue;                       // stably infected: drops off the list
+      }
+      // Undecided vertices stay on the list.
+      cand_mark_[u] = marker;
+      next_cand_.push_back(u);
+      if (sample(degree, nbrs) != cur) flips_.push_back(u);
+    }
+    for (const Vertex v : flips_) {
+      infected_[v] ^= 1;
+      if (infected_[v]) {
+        ++infected_count_;
+      } else {
+        --infected_count_;
+      }
+    }
+    // Propagate flips into neighbour counts and recruit every neighbour of
+    // a flipped vertex: its classification may have changed. Recruits are
+    // not pre-filtered — evaluating a stably-forced vertex next round is a
+    // few loads and drops it from the list, cheaper than classifying here.
+    for (const Vertex v : flips_) {
+      const bool now = infected_[v] != 0;
+      for (const Vertex u : graph_->neighbors(v)) {
+        if (now) {
+          ++inf_nbrs_[u];
+        } else {
+          --inf_nbrs_[u];
+        }
+        if (cand_mark_[u] != marker && !is_source_[u]) {
+          cand_mark_[u] = marker;
+          newly_.push_back(u);
+        }
+      }
+    }
+    // The retained prefix is ascending (evaluation order); merge the
+    // sorted recruits to keep the whole list ascending for determinism.
+    if (!newly_.empty()) {
+      std::sort(newly_.begin(), newly_.end());
+      const auto mid = static_cast<std::ptrdiff_t>(next_cand_.size());
+      next_cand_.insert(next_cand_.end(), newly_.begin(), newly_.end());
+      std::inplace_merge(next_cand_.begin(), next_cand_.begin() + mid,
+                         next_cand_.end());
+    }
+    cand_.swap(next_cand_);
+    active_estimate_ = cand_.size();
+    // Hysteresis: leave list mode only once the boundary is a large
+    // fraction of n (the counts go stale; a later tail transition
+    // rebuilds them).
+    if (active_estimate_ >= n / 8) scan_mode_ = true;
   }
-  infected_.swap(next_infected_);
-  infected_count_ = count;
+
+  probes_peak_vertex_ = peak;
   ++round_;
-  return count;
+  return infected_count_;
 }
 
-SpreadResult run_bips_infection(const Graph& g, Vertex source,
-                                BipsOptions options, Rng& rng) {
-  BipsProcess process(g, source, options);
+namespace {
+
+SpreadResult run_to_full_infection(BipsProcess& process, Rng& rng) {
+  const BipsOptions& options = process.options();
   SpreadResult result;
   if (options.record_curve) result.curve.push_back(process.infected_count());
   while (!process.fully_infected() && process.round() < options.max_rounds) {
@@ -88,17 +280,22 @@ SpreadResult run_bips_infection(const Graph& g, Vertex source,
   result.completed = process.fully_infected();
   result.rounds = process.round();
   result.final_count = process.infected_count();
-  // Every non-source vertex transmits k (or 1 + Bernoulli(rho)) probes per
-  // round in expectation; exact accounting equals draws made, which we
-  // approximate by expectation here since probes are pulls, not pushes.
-  const double per_round =
-      options.branching.expected_factor() *
-      static_cast<double>(g.num_vertices() > 0 ? g.num_vertices() - 1 : 0);
-  result.total_transmissions =
-      static_cast<std::uint64_t>(per_round * static_cast<double>(result.rounds));
-  result.peak_vertex_round_transmissions =
-      options.branching.is_fractional() ? 2 : options.branching.k;
+  result.total_transmissions = process.total_probes();
+  result.peak_vertex_round_transmissions = process.peak_vertex_round_probes();
   return result;
+}
+
+}  // namespace
+
+SpreadResult run_bips_infection(const Graph& g, Vertex source,
+                                BipsOptions options, Rng& rng) {
+  BipsProcess process(g, source, options);
+  return run_to_full_infection(process, rng);
+}
+
+SpreadResult run_bips_infection(BipsProcess& process, Vertex source, Rng& rng) {
+  process.reset(source);
+  return run_to_full_infection(process, rng);
 }
 
 bool bips_membership_after(const Graph& g, Vertex source, Vertex probe,

@@ -3,14 +3,38 @@
 // BIPS — Biased Infection with Persistent Source (paper Section 1), the
 // epidemic dual of COBRA under time reversal (Theorem 4).
 //
-// Round t -> t+1: every vertex u != source independently selects k
-// neighbours uniformly with replacement; u is in A_{t+1} iff at least one
-// selected neighbour is in A_t. The source is in A_t for every t. Note the
-// infected set is *not* monotone — a vertex can recover by sampling only
-// healthy neighbours (SIS type) — but the persistent source drives the
-// whole graph to infection w.h.p. (Theorem 2).
+// Round t -> t+1: every vertex u not in the source set independently
+// selects k neighbours uniformly with replacement; u is in A_{t+1} iff at
+// least one selected neighbour is in A_t. Sources are in A_t for every t.
+// Note the infected set is *not* monotone — a vertex can recover by
+// sampling only healthy neighbours (SIS type) — but the persistent source
+// drives the whole graph to infection w.h.p. (Theorem 2).
+//
+// Engine notes: a vertex whose neighbourhood is uniformly infected (or
+// uniformly healthy) has a forced next state — no sample can change it —
+// so skipping its draws is distribution-preserving, exactly like the early
+// exit on a hit. The engine runs in one of two modes:
+//   * list mode — per-vertex infected-neighbour counts are maintained
+//     incrementally from state flips, and a sorted active list holds
+//     exactly the undecided (or flip-due) vertices. Early rounds
+//     (infection localized near the sources) and late rounds (a handful
+//     of undecided stragglers) cost O(boundary), not O(n).
+//   * scan mode — one plain pass over all n vertices with zero
+//     bookkeeping; used while the undecided boundary is a large fraction
+//     of n, where maintaining counts and lists costs more than it saves.
+// Transitions have hysteresis: list -> scan is free (the counts are
+// dropped); scan -> list rebuilds the counts in one O(m) sweep, is taken
+// only when the epidemic is nearly saturated and quiet, and is rationed
+// per trial so degenerate instances (e.g. complete graphs, where every
+// vertex stays undecided until the last) cannot thrash. Both modes visit
+// vertices in ascending order and every transition is a deterministic
+// function of the state, so results remain a pure function of
+// (seed, trial). reset() re-zeroes a few byte/word arrays (one memset
+// each, a few % of a trial) so trial loops reuse one process per thread
+// instead of reallocating.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <vector>
@@ -42,6 +66,11 @@ class BipsProcess {
   BipsProcess(const Graph& g, std::span<const Vertex> sources,
               BipsOptions options = {});
 
+  /// Rewinds to round 0 with the given persistent source set. Throws
+  /// std::invalid_argument (before mutating) on a bad source set.
+  void reset(Vertex source);
+  void reset(std::span<const Vertex> sources);
+
   /// Executes one round; returns |A_{t+1}|.
   std::size_t step(Rng& rng);
 
@@ -52,25 +81,78 @@ class BipsProcess {
   }
   bool is_infected(Vertex v) const { return infected_[v] != 0; }
   bool is_source(Vertex v) const { return is_source_[v] != 0; }
-  /// First source (the unique one in the single-source construction).
-  Vertex source() const noexcept { return source_; }
+
+  /// The full persistent source set, ascending and deduplicated.
+  std::span<const Vertex> sources() const noexcept { return sources_; }
+
+  /// Lowest-indexed source. With a multi-source construction prefer
+  /// sources(); this accessor exists for the common single-source case.
+  Vertex source() const noexcept { return sources_.front(); }
+
+  /// Number of vertices the engine will evaluate next round: the active
+  /// list in list mode, every non-source vertex in scan mode.
+  std::size_t active_size() const noexcept { return active_estimate_; }
+
+  /// Neighbour probes actually drawn since the last reset. A vertex stops
+  /// probing at its first infected hit, and in list mode vertices the
+  /// engine classifies as forced draw nothing, so this counts the samples
+  /// the dynamics consumed, not the nominal k(n - |S|) selections per
+  /// round.
+  std::uint64_t total_probes() const noexcept { return probes_total_; }
+
+  /// Largest number of probes any single vertex drew in one round.
+  std::uint64_t peak_vertex_round_probes() const noexcept {
+    return probes_peak_vertex_;
+  }
+
   const Graph& graph() const noexcept { return *graph_; }
+  const BipsOptions& options() const noexcept { return options_; }
 
  private:
+  /// True if u's next state is random, or forced to differ from its
+  /// current state — exactly the vertices that need processing. Valid only
+  /// while the neighbour counts are maintained (list mode).
+  bool needs_processing(Vertex u) const noexcept;
+  void rebuild_counts_and_list();
+
   const Graph* graph_;
-  Vertex source_;
-  std::vector<char> is_source_;
   BipsOptions options_;
+  std::vector<Vertex> sources_;
+  std::vector<char> is_source_;
+  /// Current round's infected bitmap (1 byte per vertex: the draw loop's
+  /// random reads want density, not packing). Scan mode writes the next
+  /// round into next_infected_ and swaps — exactly the baseline layout;
+  /// list mode edits infected_ in place from its flip list.
   std::vector<char> infected_;
   std::vector<char> next_infected_;
-  std::size_t infected_count_ = 1;
+  /// Infected-neighbour count per vertex; maintained from flips in list
+  /// mode, stale in scan mode until the next rebuild.
+  std::vector<std::uint32_t> inf_nbrs_;
+  /// Active list (ascending), its per-round membership markers, and the
+  /// scratch vectors of the flip/recruit phases.
+  std::vector<Vertex> cand_;
+  std::vector<Vertex> next_cand_;
+  std::vector<std::uint32_t> cand_mark_;
+  std::vector<Vertex> flips_;
+  std::vector<Vertex> newly_;
+  bool scan_mode_ = false;
+  int rebuilds_left_ = 0;
+  std::size_t active_estimate_ = 0;
+  std::size_t infected_count_ = 0;
   Round round_ = 0;
+  std::uint64_t probes_total_ = 0;
+  std::uint64_t probes_peak_vertex_ = 0;
 };
 
 /// Runs until A_t = V or max_rounds. result.rounds is infec(source) when
-/// completed; curve[t] = |A_t|.
+/// completed; curve[t] = |A_t|. total_transmissions counts the neighbour
+/// probes the engine actually drew (see BipsProcess::total_probes).
 SpreadResult run_bips_infection(const Graph& g, Vertex source,
                                 BipsOptions options, Rng& rng);
+
+/// Workspace variant: resets `process` to {source} and runs it under
+/// process.options(); trial loops use one process per thread.
+SpreadResult run_bips_infection(BipsProcess& process, Vertex source, Rng& rng);
 
 /// Duality probe (right-hand side of Theorem 4): runs exactly t rounds and
 /// reports whether `probe` is in A_t. One Bernoulli sample of

@@ -8,12 +8,25 @@
 // replacement*; C_{t+1} is the set of chosen vertices (duplicates
 // coalesce). A vertex that pushed stops until it is chosen again.
 //
+// Engine notes (this class is the Monte Carlo hot path):
+//  * All per-vertex state is epoch-stamped, so reset() rewinds to round 0
+//    in O(|starts|) and trial loops reuse one process per thread instead of
+//    paying an O(n) allocation + refill per trial.
+//  * The frontier is hybrid: a sorted sparse list while small, the stamp
+//    array itself (scanned densely) once it exceeds ~n/16. Both paths
+//    traverse C_t in ascending vertex order, so the RNG stream — and hence
+//    every result — is identical whichever representation is active
+//    (tested in tests/engine_test.cpp).
+//  * Fractional branching asks a geometric-skipping Bernoulli helper, so
+//    the rho-draw costs one uniform per extra push, not one per vertex.
+//
 // The class exposes round-level stepping so examples can observe frontier
 // dynamics; run_cobra_cover / cobra_hitting_time wrap the common
 // measurements (cover time = min T with union_{t<=T} C_t = V, Theorem 1;
 // hitting time Hit_C(v), Theorem 4).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <vector>
@@ -25,6 +38,11 @@
 
 namespace cobra {
 
+/// Frontier representation policy. kAuto switches between representations
+/// by frontier size; the forced modes exist so tests can assert that the
+/// two paths are result-identical.
+enum class FrontierMode { kAuto, kSparse, kDense };
+
 struct CobraOptions {
   Branching branching = Branching::fixed(2);
   /// Abort threshold for run_cobra_cover (the process itself never dies).
@@ -32,6 +50,7 @@ struct CobraOptions {
   /// Record per-round frontier sizes and message counts (small overhead;
   /// off for bulk Monte Carlo).
   bool record_curves = true;
+  FrontierMode frontier_mode = FrontierMode::kAuto;
 };
 
 class CobraProcess {
@@ -44,6 +63,13 @@ class CobraProcess {
   CobraProcess(const Graph& g, std::span<const Vertex> starts,
                CobraOptions options = {});
 
+  /// Rewinds to round 0 with C_0 = {start} / `starts`. O(|starts|): the
+  /// per-vertex arrays are invalidated by bumping the epoch stamp, not by
+  /// refilling them. Throws std::invalid_argument (before mutating
+  /// anything) on an empty or out-of-range start set.
+  void reset(Vertex start);
+  void reset(std::span<const Vertex> starts);
+
   /// Executes one round; returns the number of first-time visits.
   std::size_t step(Rng& rng);
 
@@ -53,32 +79,67 @@ class CobraProcess {
     return visited_count_ == graph_->num_vertices();
   }
 
-  /// Current active set C_t (each vertex once; sorted order not guaranteed).
-  std::span<const Vertex> frontier() const noexcept { return frontier_; }
+  std::size_t frontier_size() const noexcept { return frontier_size_; }
 
-  bool has_visited(Vertex v) const { return first_visit_[v] != kRoundNever; }
+  /// Current active set C_t in ascending vertex order. After a dense round
+  /// the list is materialized on demand (one O(n) scan, cached into a
+  /// mutable member) — so despite the const signature, concurrent calls on
+  /// a shared process are not safe. Processes are per-thread workspaces;
+  /// don't share one across threads.
+  std::span<const Vertex> frontier() const;
 
-  /// Round of first visit per vertex (kRoundNever if unvisited). The start
-  /// set has round 0.
-  const std::vector<Round>& first_visit_round() const noexcept {
-    return first_visit_;
+  bool has_visited(Vertex v) const {
+    return static_cast<Stamp>(visit_[v] >> 32) >= base_;
   }
+
+  /// Round of v's first visit; kRoundNever if unvisited. The start set has
+  /// round 0.
+  Round first_visit_round(Vertex v) const {
+    return has_visited(v) ? static_cast<Stamp>(visit_[v] >> 32) - base_
+                          : kRoundNever;
+  }
+
+  /// Materialized per-vertex first-visit rounds (kRoundNever if unvisited).
+  std::vector<Round> first_visit_rounds() const;
 
   const Accounting& accounting() const noexcept { return accounting_; }
   const Graph& graph() const noexcept { return *graph_; }
+  const CobraOptions& options() const noexcept { return options_; }
 
  private:
+  /// Per-vertex stamps are *global* round numbers: round r of the current
+  /// trial is stamp base_ + r, and every reset advances base_ past all
+  /// stamps the previous trial could have written. Stale stamps therefore
+  /// compare < base_ and reset() is O(1) over the O(n) arrays; the stamps
+  /// stay 32-bit, which keeps the draw loop's random accesses dense. When
+  /// base_ approaches wrap-around (every ~2^32 total rounds) the arrays
+  /// are re-zeroed once.
+  using Stamp = std::uint32_t;
+  Stamp stamp(Round r) const noexcept { return base_ + r; }
+
   void seed_frontier(std::span<const Vertex> starts);
 
   const Graph* graph_;
   CobraOptions options_;
-  std::vector<Vertex> frontier_;
+  /// Sparse frontier list (ascending). Mutable: in dense rounds it is a
+  /// lazily materialized cache for frontier().
+  mutable std::vector<Vertex> frontier_;
+  mutable bool frontier_list_valid_ = true;
   std::vector<Vertex> next_frontier_;
-  /// Round stamp per vertex for O(1) dedup of the next frontier.
-  std::vector<Round> member_stamp_;
-  std::vector<Round> first_visit_;
+  /// Per-vertex state packed into one 64-bit word so the draw loop's
+  /// random access touches a single cache line per draw: the low half is
+  /// the membership stamp (v entered a frontier at stamp(r) = low == base_
+  /// + r), the high half the first-visit stamp. The dense representation
+  /// is this array itself: C_t is materialized by one sequential scan for
+  /// low == stamp(t), done before any round-t draws overwrite the lows.
+  std::vector<std::uint64_t> visit_;
+  std::size_t frontier_size_ = 0;
+  /// Frontiers at least this large are re-materialized by a stamp scan
+  /// each round instead of being kept (and sorted) as a list.
+  std::size_t dense_threshold_;
   std::size_t visited_count_ = 0;
   Round round_ = 0;
+  Stamp base_ = 1;
   Accounting accounting_;
 };
 
@@ -86,6 +147,11 @@ class CobraProcess {
 /// (curve[t] = distinct vertices visited by end of round t).
 SpreadResult run_cobra_cover(const Graph& g, Vertex start, CobraOptions options,
                              Rng& rng);
+
+/// Workspace variant: resets `process` to {start} and runs it to cover
+/// under process.options(). Trial loops use this with one process per
+/// thread to avoid per-trial construction.
+SpreadResult run_cobra_cover(CobraProcess& process, Vertex start, Rng& rng);
 
 /// Hit_C(v): rounds until `target` is in C_t, starting from C_0 = starts.
 /// nullopt if not hit within max_rounds. Hit is 0 if target is in starts.

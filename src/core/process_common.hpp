@@ -49,6 +49,9 @@ struct SpreadResult {
   std::uint64_t total_transmissions = 0;
   /// Largest number of messages any single vertex sent in one round.
   std::uint64_t peak_vertex_round_transmissions = 0;
+
+  /// Field-wise equality; the determinism tests compare whole results.
+  friend bool operator==(const SpreadResult&, const SpreadResult&) = default;
 };
 
 }  // namespace cobra

@@ -34,7 +34,7 @@ SisResult run_sis(const Graph& g, Vertex seed, SisOptions options, Rng& rng) {
       char hit = 0;
       for (unsigned i = 0; i < draws; ++i) {
         const Vertex w =
-            g.neighbor(u, static_cast<std::size_t>(rng.next_below(degree)));
+            g.neighbor(u, rng.next_below32(static_cast<std::uint32_t>(degree)));
         if (infected[w]) {
           hit = 1;
           break;

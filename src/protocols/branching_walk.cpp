@@ -46,7 +46,7 @@ BranchingWalkResult run_branching_walk(const Graph& g, Vertex start,
         for (std::uint64_t p = 0; p < particles; ++p) {
           for (unsigned i = 0; i < options.k; ++i) {
             const Vertex w = g.neighbor(
-                v, static_cast<std::size_t>(rng.next_below(degree)));
+                v, rng.next_below32(static_cast<std::uint32_t>(degree)));
             next[w] = std::min(options.vertex_cap, next[w] + 1);
             ++moves;
           }

@@ -31,7 +31,7 @@ SpreadResult run_pull(const Graph& g, Vertex start, PullOptions options,
       if (informed[v]) continue;
       ++contacts;
       const Vertex w = g.neighbor(
-          v, static_cast<std::size_t>(rng.next_below(g.degree(v))));
+          v, rng.next_below32(static_cast<std::uint32_t>(g.degree(v))));
       if (informed[w] == 1) {  // == 1: only start-of-round informed count
         informed[v] = 2;       // mark for activation after the sweep
         ++new_informed;

@@ -29,7 +29,7 @@ SpreadResult run_push(const Graph& g, Vertex start, PushOptions options,
     for (std::size_t i = 0; i < senders; ++i) {
       const Vertex v = informed_list[i];
       const Vertex w = g.neighbor(
-          v, static_cast<std::size_t>(rng.next_below(g.degree(v))));
+          v, rng.next_below32(static_cast<std::uint32_t>(g.degree(v))));
       if (!informed[w]) {
         informed[w] = 1;
         informed_list.push_back(w);

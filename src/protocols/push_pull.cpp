@@ -31,7 +31,7 @@ SpreadResult run_push_pull(const Graph& g, Vertex start,
     // at the start of the round.
     for (Vertex v = 0; v < n; ++v) {
       const Vertex w = g.neighbor(
-          v, static_cast<std::size_t>(rng.next_below(g.degree(v))));
+          v, rng.next_below32(static_cast<std::uint32_t>(g.degree(v))));
       if (informed[v]) {
         next[w] = 1;  // push
       } else if (informed[w]) {

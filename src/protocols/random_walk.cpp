@@ -20,9 +20,8 @@ RandomWalk::RandomWalk(const Graph& g, Vertex start)
 }
 
 Vertex RandomWalk::step(Rng& rng) {
-  const auto degree = graph_->degree(position_);
-  position_ = graph_->neighbor(
-      position_, static_cast<std::size_t>(rng.next_below(degree)));
+  const auto degree = static_cast<std::uint32_t>(graph_->degree(position_));
+  position_ = graph_->neighbor(position_, rng.next_below32(degree));
   ++steps_;
   if (first_visit_[position_] == kRoundNever) {
     first_visit_[position_] = static_cast<Round>(steps_);

@@ -21,7 +21,7 @@ class RandomWalk {
   RandomWalk(const Graph& g, Vertex start);
 
   /// Moves one step; returns the new position. The neighbour draw is
-  /// g.neighbor(v, rng.next_below(degree)) — intentionally identical to
+  /// g.neighbor(v, rng.next_below32(degree)) — intentionally identical to
   /// CobraProcess's draw so that a k=1 COBRA and a RandomWalk given equal
   /// RNG states produce the same trajectory (tested).
   Vertex step(Rng& rng);

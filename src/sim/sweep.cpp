@@ -5,15 +5,9 @@
 
 namespace cobra {
 
-SpreadMeasurement measure_spread(
-    const Graph& g, const TrialOptions& trials,
-    const std::function<SpreadResult(Vertex, Rng&)>& run) {
-  const std::size_t n = g.num_vertices();
-  const auto results = run_trials_collect<SpreadResult>(
-      trials, [&](std::size_t i, Rng& rng) {
-        const auto start = static_cast<Vertex>(i % n);
-        return run(start, rng);
-      });
+namespace {
+
+SpreadMeasurement summarize_results(const std::vector<SpreadResult>& results) {
   SpreadMeasurement measurement;
   std::vector<double> rounds;
   std::vector<double> transmissions;
@@ -34,20 +28,43 @@ SpreadMeasurement measure_spread(
   return measurement;
 }
 
+}  // namespace
+
+SpreadMeasurement measure_spread(
+    const Graph& g, const TrialOptions& trials,
+    const std::function<SpreadResult(Vertex, Rng&)>& run) {
+  const std::size_t n = g.num_vertices();
+  const auto results = run_trials_collect<SpreadResult>(
+      trials, [&](std::size_t i, Rng& rng) {
+        const auto start = static_cast<Vertex>(i % n);
+        return run(start, rng);
+      });
+  return summarize_results(results);
+}
+
 SpreadMeasurement measure_cobra(const Graph& g, const CobraOptions& options,
                                 const TrialOptions& trials) {
-  return measure_spread(g, trials, [&](Vertex start, Rng& rng) {
-    CobraOptions local = options;
-    local.record_curves = true;  // needed for transmission accounting
-    return run_cobra_cover(g, start, local, rng);
-  });
+  CobraOptions local = options;
+  local.record_curves = true;  // needed for transmission accounting
+  const std::size_t n = g.num_vertices();
+  // One process per participating thread; each trial resets it in O(1).
+  const auto results = run_trials_collect<SpreadResult, CobraProcess>(
+      trials, [&] { return CobraProcess(g, 0, local); },
+      [&](std::size_t i, Rng& rng, CobraProcess& process) {
+        return run_cobra_cover(process, static_cast<Vertex>(i % n), rng);
+      });
+  return summarize_results(results);
 }
 
 SpreadMeasurement measure_bips(const Graph& g, const BipsOptions& options,
                                const TrialOptions& trials) {
-  return measure_spread(g, trials, [&](Vertex start, Rng& rng) {
-    return run_bips_infection(g, start, options, rng);
-  });
+  const std::size_t n = g.num_vertices();
+  const auto results = run_trials_collect<SpreadResult, BipsProcess>(
+      trials, [&] { return BipsProcess(g, 0, options); },
+      [&](std::size_t i, Rng& rng, BipsProcess& process) {
+        return run_bips_infection(process, static_cast<Vertex>(i % n), rng);
+      });
+  return summarize_results(results);
 }
 
 }  // namespace cobra

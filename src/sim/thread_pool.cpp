@@ -2,6 +2,7 @@
 #include "sim/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 namespace cobra {
 
@@ -40,20 +41,39 @@ void ThreadPool::wait_idle() {
 
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
-  // Chunk to limit queue churn: a few tasks per worker balances load
-  // without a task per index.
-  const std::size_t chunks = std::min(count, size() * 4);
-  if (chunks <= 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
+  parallel_for_stateful(
+      count, [&fn]() -> std::function<void(std::size_t)> { return fn; });
+}
+
+void ThreadPool::parallel_for_stateful(
+    std::size_t count,
+    const std::function<std::function<void(std::size_t)>()>& make_body) {
+  if (count == 0) return;
+  if (count == 1) {
+    make_body()(0);
     return;
   }
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t begin = count * c / chunks;
-    const std::size_t end = count * (c + 1) / chunks;
-    submit([&fn, begin, end] {
-      for (std::size_t i = begin; i < end; ++i) fn(i);
-    });
-  }
+  // Chunks small enough to balance load (a few per participant) but large
+  // enough that the single relaxed fetch_add per chunk is noise.
+  const std::size_t participants = size() + 1;  // workers + calling thread
+  const std::size_t chunk =
+      std::max<std::size_t>(1, count / (participants * 8));
+  std::atomic<std::size_t> cursor{0};
+  const auto run_participant = [&cursor, &make_body, chunk, count] {
+    std::function<void(std::size_t)> body = make_body();
+    while (true) {
+      const std::size_t begin =
+          cursor.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= count) break;
+      const std::size_t end = std::min(begin + chunk, count);
+      for (std::size_t i = begin; i < end; ++i) body(i);
+    }
+  };
+  // No point waking more workers than there are chunks to claim.
+  const std::size_t helpers =
+      std::min(size(), (count + chunk - 1) / chunk);
+  for (std::size_t w = 0; w < helpers; ++w) submit(run_participant);
+  run_participant();  // the calling thread claims chunks too
   wait_idle();
 }
 

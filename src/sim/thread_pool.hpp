@@ -1,9 +1,12 @@
 // SPDX-License-Identifier: MIT
 //
 // Minimal fixed-size thread pool for embarrassingly parallel Monte Carlo
-// trials. Tasks are void() closures; parallel_for partitions an index
-// range. Determinism note: the trial runner seeds each trial from its
-// *index*, so results are identical whatever thread executes it.
+// trials. Tasks are void() closures. parallel_for dispatches an index
+// range via chunked atomic-counter work claiming: workers (and the calling
+// thread) fetch_add a shared cursor to claim chunks, so per-index dispatch
+// costs one relaxed atomic per chunk instead of a mutex-guarded deque
+// round-trip per task. Determinism note: the trial runner seeds each trial
+// from its *index*, so results are identical whatever thread executes it.
 #pragma once
 
 #include <condition_variable>
@@ -36,8 +39,19 @@ class ThreadPool {
   /// Blocks until every submitted task has finished.
   void wait_idle();
 
-  /// Runs fn(i) for i in [0, count) across the pool and waits.
-  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+  /// Runs fn(i) for i in [0, count) across the pool and waits. The calling
+  /// thread participates in the work claiming.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Per-worker-state variant: every participating thread (workers and the
+  /// caller) invokes make_body() exactly once — from its own thread, so
+  /// make_body must be thread-safe — and then runs the returned body for
+  /// each index it claims. This is how trial loops get one reusable
+  /// workspace per thread instead of one per trial.
+  void parallel_for_stateful(
+      std::size_t count,
+      const std::function<std::function<void(std::size_t)>()>& make_body);
 
  private:
   void worker_loop();

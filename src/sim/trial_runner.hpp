@@ -2,12 +2,14 @@
 //
 // Reproducible Monte Carlo trial execution. Each trial i receives
 // Rng::for_trial(base_seed, i), so results are a pure function of
-// (base_seed, i) — independent of thread count, scheduling, or whether the
-// serial or pooled path ran (tested in tests/sim_test.cpp).
+// (base_seed, i) — independent of thread count, scheduling, workspace
+// reuse, or whether the serial or pooled path ran (tested in
+// tests/sim_test.cpp and tests/engine_test.cpp).
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "rand/rng.hpp"
@@ -43,6 +45,38 @@ std::vector<R> run_trials_collect(
     ThreadPool pool(options.threads);
     pool.parallel_for(options.trials, body);
   }
+  return results;
+}
+
+/// Workspace variant: every participating thread calls make_workspace()
+/// once (it must be thread-safe) and hands the same workspace to each of
+/// its trials, so per-trial state — typically a process with O(n) arrays —
+/// is constructed once per thread, not once per trial. Because each trial
+/// still draws from Rng::for_trial(base_seed, i) and workspaces are
+/// reset-on-use, results are identical to the workspace-free variant.
+template <typename R, typename Workspace>
+std::vector<R> run_trials_collect(
+    const TrialOptions& options,
+    const std::function<Workspace()>& make_workspace,
+    const std::function<R(std::size_t, Rng&, Workspace&)>& fn) {
+  std::vector<R> results(options.trials);
+  if (options.threads == 0) {
+    Workspace workspace = make_workspace();
+    for (std::size_t i = 0; i < options.trials; ++i) {
+      Rng rng = Rng::for_trial(options.base_seed, i);
+      results[i] = fn(i, rng, workspace);
+    }
+    return results;
+  }
+  ThreadPool pool(options.threads);
+  pool.parallel_for_stateful(options.trials, [&]() {
+    // shared_ptr keeps the per-thread body copyable for std::function.
+    auto workspace = std::make_shared<Workspace>(make_workspace());
+    return [&, workspace](std::size_t i) {
+      Rng rng = Rng::for_trial(options.base_seed, i);
+      results[i] = fn(i, rng, *workspace);
+    };
+  });
   return results;
 }
 

@@ -107,7 +107,7 @@ TEST(Cobra, FirstVisitRoundsAreConsistent) {
   Rng rng(5);
   CobraProcess process(g, 0);
   while (!process.covered()) process.step(rng);
-  const auto& visits = process.first_visit_round();
+  const auto visits = process.first_visit_rounds();
   EXPECT_EQ(visits[0], 0u);
   for (Vertex v = 0; v < 12; ++v) {
     EXPECT_NE(visits[v], kRoundNever);
