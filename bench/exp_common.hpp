@@ -7,6 +7,10 @@
 //   --trials N                   (override trial count)
 //   --seed S                     (Monte Carlo base seed)
 //   --csv                        (append CSV dumps of each table)
+//   --help                       (run a 1-trial small-scale pass, then list
+//                                 every flag the binary queried — help text
+//                                 is generated from actual queries, so it
+//                                 cannot drift from the code)
 #pragma once
 
 #include <cstdio>
@@ -23,15 +27,22 @@ namespace cobra::bench {
 
 struct ExperimentEnv {
   Flags flags;
+  bool help;
   Scale scale;
   std::uint64_t seed;
   bool csv;
 
   ExperimentEnv(int argc, char** argv)
       : flags(argc, argv),
+        help(flags.help_requested()),
         scale(Scale::from_flags(flags)),
         seed(static_cast<std::uint64_t>(flags.get_int("seed", 20260612))),
-        csv(flags.has("csv")) {}
+        csv(flags.has("csv")) {
+    // --help runs the cheapest possible configuration (small scale, one
+    // trial) purely to drive every flag query, then finish() prints the
+    // collected help.
+    if (help) scale.level = ScaleLevel::kSmall;
+  }
 
   /// Trial options with the scale-dependent default (overridable --trials).
   TrialOptions trials(std::size_t small, std::size_t medium,
@@ -40,6 +51,7 @@ struct ExperimentEnv {
     options.trials = static_cast<std::size_t>(flags.get_int(
         "trials",
         static_cast<std::int64_t>(scale.pick(small, medium, large))));
+    if (help) options.trials = 1;
     options.base_seed = seed;
     return options;
   }
@@ -50,6 +62,10 @@ struct ExperimentEnv {
     std::printf("%s: %s   [scale=%s]\n", id.c_str(), title.c_str(),
                 scale.name().c_str());
     std::printf("paper claim: %s\n", claim.c_str());
+    if (help) {
+      std::printf("[--help] one-trial dry pass; flag summary follows the "
+                  "run\n");
+    }
     std::printf("==============================================================\n");
   }
 
@@ -61,11 +77,14 @@ struct ExperimentEnv {
     }
   }
 
-  /// Call at the end of main; warns about mistyped flags.
+  /// Call at the end of main; warns about mistyped flags, and under
+  /// --help prints the flag summary generated from this run's queries.
   void finish(const Stopwatch& watch) const {
-    for (const auto& name : flags.unconsumed()) {
-      std::fprintf(stderr, "warning: unrecognized flag --%s\n", name.c_str());
+    if (help) {
+      std::printf("\nflags accepted by this binary:\n");
+      flags.print_help(std::cout);
     }
+    flags.warn_unconsumed(std::cerr);
     std::printf("[elapsed %.1fs]\n\n", watch.seconds());
   }
 };

@@ -5,12 +5,17 @@
 // instance, and fit rounds = a*ln(n) + b; R^2 near 1 with stable a is the
 // logarithmic-scaling signature (an O(log^2 n) law would bend upward and
 // fit ln^2 markedly better).
+//
+// Thin wrapper over the scenario engine: the sweep is expressed as a
+// ScenarioSpec (the same plan as examples/scenarios/cover_vs_n.scenario,
+// with identical seeding), so `scenario_runner` campaigns and this binary
+// produce the same numbers.
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include "exp_common.hpp"
-#include "graph/generators.hpp"
-#include "sim/sweep.hpp"
+#include "scenario/campaign.hpp"
 #include "spectral/gap.hpp"
 #include "stats/regression.hpp"
 
@@ -23,21 +28,29 @@ int main(int argc, char** argv) {
 
   const std::size_t r = static_cast<std::size_t>(env.flags.get_int("r", 8));
   const auto trials = env.trials(20, 50, 100);
-  std::vector<std::size_t> sizes;
-  for (std::size_t n = 256;
-       n <= env.scale.pick<std::size_t>(8192, 32768, 131072); n *= 2) {
-    sizes.push_back(n);
-  }
+  const auto max_n = env.scale.pick<std::size_t>(8192, 32768, 131072);
+
+  scenario::ScenarioSpec spec;
+  spec.set("campaign", "name", "cover_vs_n");
+  spec.set("campaign", "trials", std::to_string(trials.trials));
+  spec.set("campaign", "base_seed", std::to_string(env.seed));
+  spec.set("graph", "family", "random_regular");
+  spec.set("graph", "n", "256.." + std::to_string(max_n) + " *2");
+  spec.set("graph", "r", std::to_string(r));
+  spec.set("process", "name", "cobra");
+  spec.set("process", "k", "2");
+  const auto plan = scenario::plan_campaign(spec);
+  const auto campaign = scenario::run_campaign(plan);
 
   Table table({"n", "lambda", "rounds mean", "p90", "p99", "max",
                "mean/ln(n)", "failed"});
   std::vector<double> xs;
   std::vector<double> ys;
-  Rng graph_rng(env.seed);
-  for (const std::size_t n : sizes) {
-    const Graph g = gen::connected_random_regular(n, r, graph_rng);
-    const auto spectrum = spectral::spectral_report(g);
-    const auto m = measure_cobra(g, {}, trials);
+  for (const auto& job : plan.jobs) {
+    const auto n = std::stoull(*scenario::find_param(job.graph, "n"));
+    const auto g = scenario::build_job_graph(plan, job);
+    const auto spectrum = spectral::spectral_report(*g);
+    const auto& m = *campaign.jobs[job.index];
     const double ln_n = std::log(static_cast<double>(n));
     table.add_row({Table::cell(static_cast<std::uint64_t>(n)),
                    Table::cell(spectrum.lambda, 4),

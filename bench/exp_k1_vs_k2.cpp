@@ -4,12 +4,16 @@
 // with cover time Omega(n log n) on every graph, while k = 2 covers
 // expanders in O(log n). Sweep n and report both, plus the separation
 // ratio (which must grow ~ n).
+//
+// Thin wrapper over the scenario engine: one campaign with a k = 1,2
+// sweep axis (the examples/scenarios/k1_vs_k2.scenario plan), paired rows
+// read off consecutive jobs.
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include "exp_common.hpp"
-#include "graph/generators.hpp"
-#include "sim/sweep.hpp"
+#include "scenario/campaign.hpp"
 #include "stats/regression.hpp"
 
 int main(int argc, char** argv) {
@@ -21,25 +25,31 @@ int main(int argc, char** argv) {
 
   const std::size_t r = static_cast<std::size_t>(env.flags.get_int("r", 8));
   const auto trials = env.trials(10, 20, 50);
-  std::vector<std::size_t> sizes{64, 128, 256, 512, 1024};
-  if (env.scale.level != ScaleLevel::kSmall) {
-    sizes.push_back(2048);
-    sizes.push_back(4096);
-  }
+  const std::size_t max_n =
+      env.scale.level == ScaleLevel::kSmall ? 1024 : 4096;
+
+  scenario::ScenarioSpec spec;
+  spec.set("campaign", "name", "k1_vs_k2");
+  spec.set("campaign", "trials", std::to_string(trials.trials));
+  spec.set("campaign", "base_seed", std::to_string(env.seed));
+  spec.set("graph", "family", "random_regular");
+  spec.set("graph", "n", "64.." + std::to_string(max_n) + " *2");
+  spec.set("graph", "r", std::to_string(r));
+  spec.set("process", "name", "cobra");
+  spec.set("process", "k", "1,2");
+  spec.set("process", "max_rounds", std::to_string(1u << 26));
+  const auto plan = scenario::plan_campaign(spec);
+  const auto campaign = scenario::run_campaign(plan);
 
   Table table({"n", "k=1 mean", "k=1/(n ln n)", "k=2 mean", "k=2/ln(n)",
                "ratio k1/k2"});
   std::vector<double> xs;
   std::vector<double> ratio;
-  Rng graph_rng(env.seed);
-  for (const std::size_t n : sizes) {
-    const Graph g = gen::connected_random_regular(n, r, graph_rng);
-    CobraOptions walk;
-    walk.branching = Branching::fixed(1);
-    walk.max_rounds = 1u << 26;
-    walk.record_curves = false;
-    const auto m1 = measure_cobra(g, walk, trials);
-    const auto m2 = measure_cobra(g, {}, trials);
+  // The k axis is fastest, so jobs pair up as (k=1, k=2) per n.
+  for (std::size_t i = 0; i + 1 < plan.jobs.size(); i += 2) {
+    const auto n = std::stoull(*scenario::find_param(plan.jobs[i].graph, "n"));
+    const auto& m1 = *campaign.jobs[i];
+    const auto& m2 = *campaign.jobs[i + 1];
     const double ln_n = std::log(static_cast<double>(n));
     table.add_row(
         {Table::cell(static_cast<std::uint64_t>(n)),

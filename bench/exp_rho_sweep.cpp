@@ -5,12 +5,17 @@
 // i.e. rho = 0, is a random walk and needs Omega(n log n)). Sweep rho at
 // several n: each positive rho shows log-scaling; times blow up as
 // rho -> 0 like ~1/rho.
+//
+// Thin wrapper over the scenario engine: the rho sweep is one campaign
+// (the examples/scenarios/rho_sweep.scenario plan) and the integer k = 2
+// reference row a second single-axis campaign on the same graphs (same
+// base_seed + graph params => identical instances).
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include "exp_common.hpp"
-#include "graph/generators.hpp"
-#include "sim/sweep.hpp"
+#include "scenario/campaign.hpp"
 
 int main(int argc, char** argv) {
   using namespace cobra;
@@ -21,33 +26,62 @@ int main(int argc, char** argv) {
 
   const std::size_t r = static_cast<std::size_t>(env.flags.get_int("r", 8));
   const auto trials = env.trials(20, 40, 80);
-  std::vector<std::size_t> sizes{512, 2048};
-  if (env.scale.level != ScaleLevel::kSmall) sizes.push_back(8192);
-  const std::vector<double> rhos{0.05, 0.1, 0.2, 0.5, 1.0};
+  std::string sizes = "512,2048";
+  if (env.scale.level != ScaleLevel::kSmall) sizes += ",8192";
 
-  Rng graph_rng(env.seed);
-  for (const std::size_t n : sizes) {
-    const Graph g = gen::connected_random_regular(n, r, graph_rng);
+  scenario::ScenarioSpec spec;
+  spec.set("campaign", "name", "rho_sweep");
+  spec.set("campaign", "trials", std::to_string(trials.trials));
+  spec.set("campaign", "base_seed", std::to_string(env.seed));
+  spec.set("graph", "family", "random_regular");
+  spec.set("graph", "n", sizes);
+  spec.set("graph", "r", std::to_string(r));
+  spec.set("process", "name", "cobra");
+  spec.set("process", "rho", "0.05,0.1,0.2,0.5,1.0");
+  spec.set("process", "max_rounds", std::to_string(1u << 22));
+  const auto plan = scenario::plan_campaign(spec);
+  const auto campaign = scenario::run_campaign(plan);
+
+  // The k = 2 reference rows: same graphs (the graph seed depends only on
+  // base_seed and graph params), integer branching.
+  scenario::ScenarioSpec ref;
+  ref.set("campaign", "name", "rho_sweep_reference");
+  ref.set("campaign", "trials", std::to_string(trials.trials));
+  ref.set("campaign", "base_seed", std::to_string(env.seed));
+  ref.set("graph", "family", "random_regular");
+  ref.set("graph", "n", sizes);
+  ref.set("graph", "r", std::to_string(r));
+  ref.set("process", "name", "cobra");
+  ref.set("process", "k", "2");
+  const auto ref_plan = scenario::plan_campaign(ref);
+  const auto ref_campaign = scenario::run_campaign(ref_plan);
+
+  // The rho axis is fastest: jobs group as |rhos| consecutive rows per n,
+  // with rho itself read back from each job's resolved parameters (the
+  // spec sweep string is the single source of truth).
+  const std::size_t per_n =
+      scenario::expand_values(spec.get("process", "rho", "")).size();
+  for (std::size_t ni = 0; ni * per_n < plan.jobs.size(); ++ni) {
+    const auto n = std::stoull(
+        *scenario::find_param(plan.jobs[ni * per_n].graph, "n"));
+    const double ln_n = std::log(static_cast<double>(n));
     Table table({"rho", "rounds mean", "p90", "max", "mean/ln(n)",
                  "mean*rho"});
-    const double ln_n = std::log(static_cast<double>(n));
-    for (const double rho : rhos) {
-      CobraOptions options;
-      options.branching = Branching::fractional(rho);
-      options.max_rounds = 1u << 22;
-      const auto m = measure_cobra(g, options, trials);
+    for (std::size_t ri = 0; ri < per_n; ++ri) {
+      const auto& m = *campaign.jobs[ni * per_n + ri];
+      const double rho = std::stod(
+          *scenario::find_param(plan.jobs[ni * per_n + ri].process, "rho"));
       table.add_row({Table::cell(rho, 2), Table::cell(m.rounds.mean, 1),
                      Table::cell(m.rounds.p90, 1), Table::cell(m.rounds.max, 0),
                      Table::cell(m.rounds.mean / ln_n, 2),
                      Table::cell(m.rounds.mean * rho, 1)});
     }
-    // Integer k = 2 (rho = 1 equivalent) as the reference row.
-    const auto reference = measure_cobra(g, {}, trials);
+    const auto& reference = *ref_campaign.jobs[ni];
     table.add_row({"k=2", Table::cell(reference.rounds.mean, 1),
                    Table::cell(reference.rounds.p90, 1),
                    Table::cell(reference.rounds.max, 0),
                    Table::cell(reference.rounds.mean / ln_n, 2), "-"});
-    std::printf("\n-- %s --\n", g.name().c_str());
+    std::printf("\n-- %s --\n", campaign.jobs[ni * per_n]->graph_name.c_str());
     env.emit(table);
   }
   std::printf(

@@ -28,11 +28,10 @@ CobraProcess::CobraProcess(const Graph& g, std::span<const Vertex> starts,
   if (g.num_vertices() == 0) {
     throw std::invalid_argument("CobraProcess requires a non-empty graph");
   }
-  if (g.min_degree() == 0) {
-    throw std::invalid_argument(
-        "CobraProcess requires min degree >= 1 (an active isolated vertex "
-        "cannot choose a neighbour)");
-  }
+  // Start vertices must have an edge (reset() checks). Isolated vertices
+  // elsewhere are harmless: the frontier only reaches vertices along
+  // edges, so every active vertex always has a neighbour to choose — such
+  // graphs simply never cover (external edge lists can be disconnected).
   if (!options_.branching.is_fractional() && options_.branching.k == 0) {
     throw std::invalid_argument("CobraProcess requires branching k >= 1");
   }
@@ -50,6 +49,11 @@ void CobraProcess::reset(std::span<const Vertex> starts) {
   for (const Vertex v : starts) {
     if (v >= graph_->num_vertices()) {
       throw std::invalid_argument("start vertex out of range");
+    }
+    if (graph_->degree(v) == 0) {
+      throw std::invalid_argument(
+          "CobraProcess start must have degree >= 1 (an active isolated "
+          "vertex cannot choose a neighbour)");
     }
   }
   // Advance the stamp base past everything the previous trial wrote

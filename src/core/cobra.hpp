@@ -55,8 +55,10 @@ struct CobraOptions {
 
 class CobraProcess {
  public:
-  /// Starts with C_0 = {start}. Requires min degree >= 1 and start < n
-  /// (throws std::invalid_argument otherwise).
+  /// Starts with C_0 = {start}. Requires start < n with degree >= 1
+  /// (throws std::invalid_argument otherwise). Isolated vertices elsewhere
+  /// are tolerated — the frontier can never reach them, so the process
+  /// simply never covers such graphs.
   CobraProcess(const Graph& g, Vertex start, CobraOptions options = {});
 
   /// Starts with C_0 = `starts` (deduplicated). Requires non-empty.
@@ -66,7 +68,7 @@ class CobraProcess {
   /// Rewinds to round 0 with C_0 = {start} / `starts`. O(|starts|): the
   /// per-vertex arrays are invalidated by bumping the epoch stamp, not by
   /// refilling them. Throws std::invalid_argument (before mutating
-  /// anything) on an empty or out-of-range start set.
+  /// anything) on an empty, out-of-range, or degree-0 start set.
   void reset(Vertex start);
   void reset(std::span<const Vertex> starts);
 

@@ -1,6 +1,7 @@
 // SPDX-License-Identifier: MIT
 #include "graph/io.hpp"
 
+#include <algorithm>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -20,17 +21,26 @@ void write_edge_list(const Graph& g, std::ostream& os) {
   }
 }
 
-Graph read_edge_list(std::istream& is, std::string name) {
+Graph read_edge_list(std::istream& is, std::string name,
+                     const EdgeListOptions& options) {
   std::string line;
   std::size_t n = 0;
   bool have_header = false;
+  bool seen_edges = false;
+  std::uint64_t max_id = 0;
   std::vector<std::pair<Vertex, Vertex>> edges;
   std::size_t line_no = 0;
   while (std::getline(is, line)) {
     ++line_no;
-    if (line.empty() || line[0] == '#') continue;
+    // '#' comments anywhere in the line; '%' full-line comments
+    // (matrix-market style headers).
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    const auto content = line.find_first_not_of(" \t\r");
+    if (content == std::string::npos || line[content] == '%') continue;
     std::istringstream ss(line);
-    if (!have_header) {
+    if (!have_header && !seen_edges && line[content] == 'n') {
       std::string tag;
       if (!(ss >> tag >> n) || tag != "n") {
         throw std::invalid_argument("edge list line " + std::to_string(line_no) +
@@ -39,18 +49,53 @@ Graph read_edge_list(std::istream& is, std::string name) {
       have_header = true;
       continue;
     }
+    if (!have_header && options.require_header) {
+      throw std::invalid_argument("edge list line " + std::to_string(line_no) +
+                                  ": expected header 'n <count>'");
+    }
     std::uint64_t u = 0;
     std::uint64_t v = 0;
     if (!(ss >> u >> v)) {
       throw std::invalid_argument("edge list line " + std::to_string(line_no) +
-                                  ": expected '<u> <v>'");
+                                  ": expected '<u> <v> [weight]'");
     }
+    // Optional weight column (parsed, validated, ignored); anything after
+    // it is junk.
+    double weight = 0.0;
+    if (ss >> weight) {
+      std::string rest;
+      if (ss >> rest) {
+        throw std::invalid_argument("edge list line " +
+                                    std::to_string(line_no) +
+                                    ": unexpected trailing '" + rest + "'");
+      }
+    } else if (!ss.eof()) {
+      std::string rest;
+      ss.clear();
+      ss >> rest;
+      throw std::invalid_argument("edge list line " + std::to_string(line_no) +
+                                  ": unexpected trailing '" + rest + "'");
+    }
+    seen_edges = true;
+    max_id = std::max({max_id, u, v});
     edges.emplace_back(static_cast<Vertex>(u), static_cast<Vertex>(v));
   }
   if (!have_header) {
-    throw std::invalid_argument("edge list: missing 'n <count>' header");
+    if (options.require_header) {
+      throw std::invalid_argument("edge list: missing 'n <count>' header");
+    }
+    n = seen_edges ? static_cast<std::size_t>(max_id) + 1 : 0;
   }
   GraphBuilder builder(n);
+  if (options.dedup) {
+    // Normalize orientation so "u v" + "v u" collapse; GraphBuilder's
+    // build_dedup drops the remaining exact duplicates.
+    for (auto& [u, v] : edges) {
+      if (u > v) std::swap(u, v);
+    }
+    for (const auto& [u, v] : edges) builder.add_edge(u, v);
+    return builder.build_dedup(std::move(name));
+  }
   for (const auto& [u, v] : edges) builder.add_edge(u, v);
   return builder.build(std::move(name));
 }

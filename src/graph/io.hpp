@@ -4,9 +4,11 @@
 // Graphviz DOT export for visual inspection of small instances.
 //
 // Edge-list format:
-//   # comment lines allowed
+//   # comment lines allowed ('%' too, and '#' starts a comment anywhere)
 //   n <num_vertices>
-//   <u> <v>          (one undirected edge per line, 0-based ids)
+//   <u> <v> [weight]   (one undirected edge per line, 0-based ids; an
+//                       optional numeric weight column is tolerated and
+//                       ignored — the library's graphs are unweighted)
 #pragma once
 
 #include <iosfwd>
@@ -19,9 +21,21 @@ namespace cobra {
 /// Writes the edge-list format described above.
 void write_edge_list(const Graph& g, std::ostream& os);
 
+/// Tolerances for real-world edge lists (SNAP dumps, simulator exports).
+struct EdgeListOptions {
+  /// Require the "n <count>" header. When false a header is still honoured
+  /// if present; otherwise n is inferred as max vertex id + 1.
+  bool require_header = true;
+  /// Silently drop duplicate edges (files often list both directions).
+  /// When false, duplicates throw at build time.
+  bool dedup = false;
+};
+
 /// Parses the edge-list format; throws std::invalid_argument on malformed
-/// input (missing header, out-of-range ids, self-loops, duplicates).
-Graph read_edge_list(std::istream& is, std::string name = "from_edge_list");
+/// input, always citing the offending line number (missing header,
+/// out-of-range ids, self-loops, junk columns, duplicates unless dedup).
+Graph read_edge_list(std::istream& is, std::string name = "from_edge_list",
+                     const EdgeListOptions& options = {});
 
 /// Graphviz DOT (undirected) for small-graph visualisation.
 void write_dot(const Graph& g, std::ostream& os);

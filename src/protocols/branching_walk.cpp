@@ -16,8 +16,10 @@ BranchingWalkResult run_branching_walk(const Graph& g, Vertex start,
     throw std::invalid_argument("branching walk requires a non-empty graph");
   }
   if (start >= n) throw std::invalid_argument("branching walk start range");
-  if (g.min_degree() == 0) {
-    throw std::invalid_argument("branching walk requires min degree >= 1");
+  // Particles occupy only vertices reached along edges, so a start-degree
+  // check is sufficient even on graphs with isolated vertices.
+  if (g.degree(start) == 0) {
+    throw std::invalid_argument("branching walk start must have degree >= 1");
   }
   if (options.k == 0) throw std::invalid_argument("branching walk needs k>=1");
 

@@ -11,8 +11,11 @@ SpreadResult run_pull(const Graph& g, Vertex start, PullOptions options,
   const std::size_t n = g.num_vertices();
   if (n == 0) throw std::invalid_argument("run_pull requires a non-empty graph");
   if (start >= n) throw std::invalid_argument("pull start out of range");
-  if (g.min_degree() == 0) {
-    throw std::invalid_argument("run_pull requires min degree >= 1");
+  // Isolated vertices can never pull anything; they are skipped below and
+  // only the start (whose draw seeds nothing but whose reachability
+  // matters) must have an edge.
+  if (g.degree(start) == 0) {
+    throw std::invalid_argument("run_pull start must have degree >= 1");
   }
 
   std::vector<char> informed(n, 0);
@@ -29,9 +32,10 @@ SpreadResult run_pull(const Graph& g, Vertex start, PullOptions options,
     // vertices never revert, evaluating in place is equivalent.
     for (Vertex v = 0; v < n; ++v) {
       if (informed[v]) continue;
+      const auto degree = static_cast<std::uint32_t>(g.degree(v));
+      if (degree == 0) continue;  // isolated: nothing to pull from
       ++contacts;
-      const Vertex w = g.neighbor(
-          v, rng.next_below32(static_cast<std::uint32_t>(g.degree(v))));
+      const Vertex w = g.neighbor(v, rng.next_below32(degree));
       if (informed[w] == 1) {  // == 1: only start-of-round informed count
         informed[v] = 2;       // mark for activation after the sweep
         ++new_informed;

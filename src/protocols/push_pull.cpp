@@ -13,8 +13,10 @@ SpreadResult run_push_pull(const Graph& g, Vertex start,
     throw std::invalid_argument("run_push_pull requires a non-empty graph");
   }
   if (start >= n) throw std::invalid_argument("push_pull start out of range");
-  if (g.min_degree() == 0) {
-    throw std::invalid_argument("run_push_pull requires min degree >= 1");
+  // Isolated vertices make no contacts (skipped below); only the start
+  // must have an edge.
+  if (g.degree(start) == 0) {
+    throw std::invalid_argument("run_push_pull start must have degree >= 1");
   }
 
   std::vector<char> informed(n, 0);
@@ -29,9 +31,12 @@ SpreadResult run_push_pull(const Graph& g, Vertex start,
   while (count < n && round < options.max_rounds) {
     // Synchronous semantics: all contacts are evaluated against the state
     // at the start of the round.
+    std::size_t contacts = 0;
     for (Vertex v = 0; v < n; ++v) {
-      const Vertex w = g.neighbor(
-          v, rng.next_below32(static_cast<std::uint32_t>(g.degree(v))));
+      const auto degree = static_cast<std::uint32_t>(g.degree(v));
+      if (degree == 0) continue;  // isolated: no one to contact
+      ++contacts;
+      const Vertex w = g.neighbor(v, rng.next_below32(degree));
       if (informed[v]) {
         next[w] = 1;  // push
       } else if (informed[w]) {
@@ -43,7 +48,7 @@ SpreadResult run_push_pull(const Graph& g, Vertex start,
       informed[v] = next[v];
       count += static_cast<std::size_t>(next[v]);
     }
-    result.total_transmissions += n;  // every vertex contacts once
+    result.total_transmissions += contacts;
     result.peak_vertex_round_transmissions = 1;
     ++round;
     result.curve.push_back(count);

@@ -13,8 +13,10 @@ RandomWalk::RandomWalk(const Graph& g, Vertex start)
   if (start >= g.num_vertices()) {
     throw std::invalid_argument("RandomWalk start out of range");
   }
-  if (g.min_degree() == 0) {
-    throw std::invalid_argument("RandomWalk requires min degree >= 1");
+  // Only the start needs an edge: the walk can only stand on vertices it
+  // reached along an edge, and undirected edges are traversable back.
+  if (g.degree(start) == 0) {
+    throw std::invalid_argument("RandomWalk start must have degree >= 1");
   }
   first_visit_[start] = 0;
 }

@@ -1,0 +1,429 @@
+// SPDX-License-Identifier: MIT
+#include "scenario/campaign.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <ostream>
+
+#include "scenario/sink.hpp"
+#include "sim/sweep.hpp"
+#include "sim/thread_pool.hpp"
+#include "stats/quantile.hpp"
+
+namespace cobra::scenario {
+
+namespace {
+
+std::uint64_t fnv1a(std::string_view text,
+                    std::uint64_t hash = 1469598103934665603ULL) {
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+/// SplitMix-style combine, the same shape as Rng::for_trial's premix.
+std::uint64_t mix64(std::uint64_t a, std::uint64_t b) {
+  SplitMix64 sm(a ^ (0x632be59bd9b4e019ULL * (b + 1)));
+  return sm.next();
+}
+
+std::uint64_t graph_seed(const CampaignPlan& plan, const JobSpec& job) {
+  return mix64(mix64(plan.base_seed, job.seed_index),
+               fnv1a(canonical_params(job.graph)));
+}
+
+Graph build_graph_instance(const CampaignPlan& plan, const JobSpec& job) {
+  Rng rng(graph_seed(plan, job));
+  return build_graph(job.graph, rng);
+}
+
+/// Shares one deterministic graph instance across the jobs that use it and
+/// releases it once the last of them finishes (large sweeps would
+/// otherwise hold every instance until the campaign ends).
+class GraphCache {
+ public:
+  static std::string key_for(const JobSpec& job) {
+    return canonical_params(job.graph) + "#" +
+           std::to_string(job.seed_index);
+  }
+
+  void expect(const JobSpec& job) { ++uses_[key_for(job)]; }
+
+  std::shared_ptr<const Graph> acquire(const CampaignPlan& plan,
+                                       const JobSpec& job) {
+    const std::string key = key_for(job);
+    {
+      std::lock_guard lock(mutex_);
+      const auto it = cache_.find(key);
+      if (it != cache_.end()) return it->second;
+    }
+    // Built outside the lock: concurrent misses build identical instances
+    // (same seed) and the first insert wins.
+    auto built =
+        std::make_shared<const Graph>(build_graph_instance(plan, job));
+    std::lock_guard lock(mutex_);
+    return cache_.try_emplace(key, std::move(built)).first->second;
+  }
+
+  void release(const JobSpec& job) {
+    const std::string key = key_for(job);
+    std::lock_guard lock(mutex_);
+    const auto it = uses_.find(key);
+    if (it != uses_.end() && --it->second == 0) {
+      uses_.erase(it);
+      cache_.erase(key);
+    }
+  }
+
+ private:
+  std::mutex mutex_;
+  std::map<std::string, std::size_t> uses_;
+  std::map<std::string, std::shared_ptr<const Graph>> cache_;
+};
+
+struct Axis {
+  int section;        ///< 0 = seeds, 1 = graph, 2 = process
+  std::size_t entry;  ///< entry position within the section
+  std::vector<std::string> values;
+};
+
+Summary summary_from(const OnlineStats& stream, std::vector<double>& values) {
+  Summary summary;
+  summary.count = stream.count();
+  summary.mean = stream.mean();
+  summary.stddev = stream.stddev();
+  summary.min = stream.min();
+  summary.max = stream.max();
+  summary.median = quantile(values, 0.5);
+  summary.p90 = quantile(values, 0.9);
+  summary.p99 = quantile(values, 0.99);
+  return summary;
+}
+
+JobResult execute_job(const CampaignPlan& plan, const JobSpec& job,
+                      const Graph& g) {
+  const auto process = make_process(g, job.process);
+  const auto starts = spreadable_starts(g);
+  const std::uint64_t job_seed = mix64(plan.base_seed, job.index);
+  JobResult result;
+  result.trials = plan.trials;
+  result.graph_name = g.name();
+  OnlineStats rounds_stream;
+  OnlineStats tx_stream;
+  std::vector<double> rounds_values;
+  std::vector<double> tx_values;
+  rounds_values.reserve(plan.trials);
+  tx_values.reserve(plan.trials);
+  for (std::size_t t = 0; t < plan.trials; ++t) {
+    Rng rng = Rng::for_trial(job_seed, t);
+    const SpreadResult trial =
+        process->run(starts[t % starts.size()], rng);
+    if (!trial.completed) {
+      ++result.failed;
+      continue;
+    }
+    const auto rounds = static_cast<double>(trial.rounds);
+    const auto tx = static_cast<double>(trial.total_transmissions);
+    rounds_stream.add(rounds);
+    tx_stream.add(tx);
+    rounds_values.push_back(rounds);
+    tx_values.push_back(tx);
+  }
+  if (!rounds_values.empty()) {
+    result.rounds = summary_from(rounds_stream, rounds_values);
+    result.transmissions = summary_from(tx_stream, tx_values);
+  }
+  return result;
+}
+
+std::uint64_t parse_seed_value(const std::string& text) {
+  std::int64_t value = 0;
+  if (!parse_spec_int(text, value) || value < 0) {
+    throw SpecError("[campaign] seeds expects non-negative integers, got '" +
+                    text + "'");
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+}  // namespace
+
+CampaignPlan plan_campaign(const ScenarioSpec& spec) {
+  CampaignPlan plan;
+  // Loudly reject unknown sections and campaign keys — silent typos are
+  // how experiment campaigns go subtly wrong.
+  for (const auto& section : spec.sections()) {
+    if (section.name != "campaign" && section.name != "graph" &&
+        section.name != "process") {
+      throw SpecError(spec.source() + ":" + std::to_string(section.line) +
+                      ": unknown section [" + section.name +
+                      "] (expected campaign/graph/process)");
+    }
+  }
+  if (const SpecSection* campaign = spec.section("campaign")) {
+    for (const auto& entry : campaign->entries) {
+      if (entry.key != "name" && entry.key != "trials" &&
+          entry.key != "base_seed" && entry.key != "threads" &&
+          entry.key != "output" && entry.key != "seeds") {
+        throw SpecError(spec.source() + ":" + std::to_string(entry.line) +
+                        ": unknown [campaign] key '" + entry.key + "'");
+      }
+    }
+  }
+  plan.name = spec.get("campaign", "name", "campaign");
+  const std::int64_t trials = spec.get_int("campaign", "trials", 16);
+  if (trials < 1) {
+    throw SpecError(spec.source() + ": [campaign] trials must be >= 1");
+  }
+  plan.trials = static_cast<std::size_t>(trials);
+  plan.base_seed =
+      static_cast<std::uint64_t>(spec.get_int("campaign", "base_seed",
+                                              20260612));
+  const std::int64_t threads = spec.get_int("campaign", "threads", 0);
+  if (threads < 0 || threads > 4096) {
+    throw SpecError(spec.source() +
+                    ": [campaign] threads must be in [0, 4096]");
+  }
+  plan.threads = static_cast<std::size_t>(threads);
+  plan.output = spec.get("campaign", "output", "");
+
+  const SpecSection* graph = spec.section("graph");
+  if (graph == nullptr) {
+    throw SpecError(spec.source() + ": missing required section [graph]");
+  }
+  const SpecSection* process = spec.section("process");
+  if (process == nullptr) {
+    throw SpecError(spec.source() + ": missing required section [process]");
+  }
+
+  // Validate the dispatch keys early, with line numbers.
+  const SpecEntry* family = graph->find("family");
+  if (family == nullptr) {
+    throw SpecError(spec.source() + ":" + std::to_string(graph->line) +
+                    ": [graph] needs 'family = <name>'");
+  }
+  if (!is_graph_family(family->value)) {
+    throw SpecError(spec.source() + ":" + std::to_string(family->line) +
+                    ": unknown graph family '" + family->value + "'");
+  }
+  const SpecEntry* process_name = process->find("name");
+  if (process_name == nullptr) {
+    throw SpecError(spec.source() + ":" + std::to_string(process->line) +
+                    ": [process] needs 'name = <process>'");
+  }
+  if (!is_process_name(process_name->value)) {
+    throw SpecError(spec.source() + ":" +
+                    std::to_string(process_name->line) +
+                    ": unknown process '" + process_name->value + "'");
+  }
+
+  // Reject typo'd parameter keys at plan time so --dry-run vets the whole
+  // spec; a stray key would otherwise become a bogus sweep axis and only
+  // error once the campaign executes.
+  for (const auto& entry : graph->entries) {
+    if (entry.key == "family") continue;
+    if (!graph_family_has_param(family->value, entry.key)) {
+      throw SpecError(spec.source() + ":" + std::to_string(entry.line) +
+                      ": graph family '" + family->value +
+                      "' has no parameter '" + entry.key + "'");
+    }
+  }
+  for (const auto& entry : process->entries) {
+    if (entry.key == "name") continue;
+    if (!process_has_param(process_name->value, entry.key)) {
+      throw SpecError(spec.source() + ":" + std::to_string(entry.line) +
+                      ": process '" + process_name->value +
+                      "' has no parameter '" + entry.key + "'");
+    }
+  }
+
+  // Sweep axes: seeds slowest, then [graph] keys in declaration order,
+  // then [process] keys (last key fastest).
+  std::vector<Axis> axes;
+  axes.push_back({0, 0,
+                  expand_values(spec.get("campaign", "seeds", "0"),
+                                "[campaign] seeds")});
+  const auto add_section_axes = [&axes, &spec](const SpecSection& section,
+                                               int section_id) {
+    for (std::size_t i = 0; i < section.entries.size(); ++i) {
+      const SpecEntry& entry = section.entries[i];
+      // 'family'/'name' dispatch keys and file paths never sweep (paths
+      // legitimately contain '..').
+      if (entry.key == "family" || entry.key == "name" ||
+          entry.key == "file") {
+        axes.push_back({section_id, i, {entry.value}});
+        continue;
+      }
+      axes.push_back({section_id, i,
+                      expand_values(entry.value,
+                                    spec.source() + ":" +
+                                        std::to_string(entry.line) + ": [" +
+                                        section.name + "] " + entry.key)});
+    }
+  };
+  add_section_axes(*graph, 1);
+  add_section_axes(*process, 2);
+
+  std::size_t total = 1;
+  constexpr std::size_t kMaxJobs = 200000;
+  for (const Axis& axis : axes) {
+    total *= axis.values.size();
+    if (total > kMaxJobs) {
+      throw SpecError(spec.source() + ": grid expands past " +
+                      std::to_string(kMaxJobs) + " jobs");
+    }
+  }
+
+  plan.jobs.reserve(total);
+  for (std::size_t index = 0; index < total; ++index) {
+    JobSpec job;
+    job.index = index;
+    job.graph.resize(graph->entries.size());
+    job.process.resize(process->entries.size());
+    std::size_t residual = index;
+    std::size_t stride = total;
+    for (const Axis& axis : axes) {
+      stride /= axis.values.size();
+      const std::string& value = axis.values[residual / stride];
+      residual %= stride;
+      switch (axis.section) {
+        case 0:
+          job.seed_index = parse_seed_value(value);
+          break;
+        case 1:
+          job.graph[axis.entry] = {graph->entries[axis.entry].key, value};
+          break;
+        default:
+          job.process[axis.entry] = {process->entries[axis.entry].key, value};
+      }
+    }
+    plan.jobs.push_back(std::move(job));
+  }
+
+  std::uint64_t fp = fnv1a(plan.name);
+  fp = fnv1a(std::to_string(plan.trials), fp);
+  fp = fnv1a(std::to_string(plan.base_seed), fp);
+  for (const JobSpec& job : plan.jobs) {
+    fp = fnv1a(std::to_string(job.seed_index), fp);
+    fp = fnv1a(canonical_params(job.graph), fp);
+    fp = fnv1a(canonical_params(job.process), fp);
+  }
+  plan.fingerprint = fp;
+  return plan;
+}
+
+std::shared_ptr<const Graph> build_job_graph(const CampaignPlan& plan,
+                                             const JobSpec& job) {
+  return std::make_shared<const Graph>(build_graph_instance(plan, job));
+}
+
+CampaignResult run_campaign(const CampaignPlan& plan,
+                            const CampaignOptions& options) {
+  const std::size_t threads =
+      options.threads == static_cast<std::size_t>(-1) ? plan.threads
+                                                      : options.threads;
+  const std::string stem =
+      !options.output.empty() ? options.output : plan.output;
+
+  CampaignResult result;
+  result.jobs.assign(plan.jobs.size(), std::nullopt);
+
+  std::unique_ptr<Journal> journal;
+  if (!stem.empty()) {
+    journal = std::make_unique<Journal>(stem + ".journal", plan,
+                                        options.resume);
+    for (const auto& [index, restored] : journal->restored()) {
+      result.jobs[index] = restored;
+    }
+    result.resumed = journal->restored().size();
+  }
+
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < plan.jobs.size(); ++i) {
+    if (!result.jobs[i].has_value()) pending.push_back(i);
+  }
+  // --max-jobs: run only the first N pending jobs, then stop cleanly —
+  // exactly what a kill at that point would leave behind.
+  if (options.max_jobs != 0 && pending.size() > options.max_jobs) {
+    pending.resize(options.max_jobs);
+  }
+
+  GraphCache cache;
+  for (const std::size_t index : pending) cache.expect(plan.jobs[index]);
+
+  std::mutex mutex;
+  std::string first_error;
+  bool errored = false;
+  const std::size_t total = plan.jobs.size();
+  const auto body = [&](std::size_t pending_index) {
+    {
+      std::lock_guard lock(mutex);
+      if (errored) return;
+    }
+    const JobSpec& job = plan.jobs[pending[pending_index]];
+    try {
+      const auto graph = cache.acquire(plan, job);
+      JobResult job_result = execute_job(plan, job, *graph);
+      cache.release(job);
+      std::lock_guard lock(mutex);
+      if (journal) journal->append(job.index, job_result);
+      if (options.progress != nullptr) {
+        *options.progress << "[" << (result.resumed + result.executed + 1)
+                          << "/" << total << "] job " << job.index << " "
+                          << job_result.graph_name << " rounds mean="
+                          << format_double(job_result.rounds.mean)
+                          << " failed=" << job_result.failed << "\n";
+      }
+      result.jobs[job.index] = std::move(job_result);
+      ++result.executed;
+    } catch (const std::exception& e) {
+      std::lock_guard lock(mutex);
+      if (!errored) {
+        errored = true;
+        first_error = "job " + std::to_string(job.index) + ": " + e.what();
+      }
+    }
+  };
+
+  if (threads == 0) {
+    for (std::size_t i = 0; i < pending.size(); ++i) body(i);
+  } else {
+    ThreadPool pool(threads);
+    pool.parallel_for(pending.size(), body);
+  }
+  if (errored) throw SpecError(first_error);
+
+  result.complete = true;
+  for (std::size_t i = 0; i < plan.jobs.size(); ++i) {
+    if (!result.jobs[i].has_value()) {
+      result.complete = false;
+      continue;
+    }
+    const Summary& rounds = result.jobs[i]->rounds;
+    result.all_rounds.merge(OnlineStats::from_moments(
+        rounds.count, rounds.mean, rounds.stddev * rounds.stddev, rounds.min,
+        rounds.max));
+  }
+
+  // Final sinks are written only for a complete campaign, in job order —
+  // deterministic and byte-identical however the campaign was interrupted.
+  if (result.complete && !stem.empty()) {
+    std::ofstream jsonl(stem + ".jsonl", std::ios::trunc);
+    std::ofstream csv(stem + ".csv", std::ios::trunc);
+    if (!jsonl || !csv) {
+      throw SpecError("cannot write campaign outputs at stem '" + stem + "'");
+    }
+    csv << csv_header() << '\n';
+    for (const JobSpec& job : plan.jobs) {
+      const JobResult& job_result = *result.jobs[job.index];
+      jsonl << jsonl_record(plan, job, job_result) << '\n';
+      csv << csv_row(plan, job, job_result) << '\n';
+    }
+  }
+  return result;
+}
+
+}  // namespace cobra::scenario

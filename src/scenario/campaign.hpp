@@ -1,0 +1,110 @@
+// SPDX-License-Identifier: MIT
+//
+// Campaign planning and execution: turns a parsed ScenarioSpec into a
+// deterministic job list (grid expansion over graph / process / seed
+// axes), shards it across the thread pool, streams per-trial results into
+// the stats/ online summaries, and checkpoints every finished job into an
+// append-only journal so a killed campaign resumes where it left off.
+//
+// Determinism contract: each job's result is a pure function of
+// (base_seed, job index) — graphs are seeded from (base_seed, seed axis,
+// canonical graph params) and trial t of job j draws from
+// Rng::for_trial(mix(base_seed, j), t). Results are therefore identical
+// whatever the thread count or interruption pattern, and the final JSONL /
+// CSV files are byte-identical between an interrupted-and-resumed campaign
+// and an uninterrupted one (tested in tests/scenario_test.cpp).
+//
+// Grid expansion: every multi-valued key (see expand_values in spec.hpp)
+// in [graph] or [process] becomes a sweep axis, plus the optional
+// `[campaign] seeds` axis. Axis nesting is: seeds slowest, then [graph]
+// keys in declaration order, then [process] keys, last key fastest.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scenario/registry.hpp"
+#include "scenario/spec.hpp"
+#include "stats/online.hpp"
+#include "stats/summary.hpp"
+
+namespace cobra::scenario {
+
+/// One fully resolved grid point.
+struct JobSpec {
+  std::size_t index = 0;        ///< position in the expanded grid
+  std::uint64_t seed_index = 0; ///< value of the seeds axis
+  ParamMap graph;               ///< scalar graph params incl. "family"
+  ParamMap process;             ///< scalar process params incl. "name"
+};
+
+struct CampaignPlan {
+  std::string name = "campaign";
+  std::size_t trials = 16;
+  std::uint64_t base_seed = 20260612;
+  std::size_t threads = 0;  ///< 0 = serial execution
+  std::string output;       ///< sink/journal stem; empty = in-memory only
+  std::vector<JobSpec> jobs;
+  /// Hash of (name, trials, base_seed, every job); a resume against a
+  /// journal written by a different plan fails loudly.
+  std::uint64_t fingerprint = 0;
+};
+
+/// Expands the spec into a plan. Throws SpecError (with line numbers where
+/// available) on unknown sections, unknown families/processes, malformed
+/// sweeps, or an empty grid.
+CampaignPlan plan_campaign(const ScenarioSpec& spec);
+
+/// Aggregated result of one job's trials.
+struct JobResult {
+  std::size_t trials = 0;
+  std::size_t failed = 0;     ///< trials that did not complete
+  Summary rounds;             ///< over completed trials (count 0 if none)
+  Summary transmissions;
+  std::string graph_name;     ///< generator-assigned instance name
+};
+
+struct CampaignOptions {
+  /// SIZE_MAX = use plan.threads; otherwise overrides (0 = serial).
+  std::size_t threads = static_cast<std::size_t>(-1);
+  /// Overrides plan.output when non-empty.
+  std::string output;
+  /// Pick up a matching journal when present (mismatch throws); false
+  /// starts over, truncating any existing journal.
+  bool resume = true;
+  /// Stop cleanly after this many newly executed jobs (0 = unlimited) —
+  /// the checkpoint/resume test hook and the CLI's --max-jobs.
+  std::size_t max_jobs = 0;
+  /// Per-job progress lines (nullptr = silent).
+  std::ostream* progress = nullptr;
+};
+
+struct CampaignResult {
+  /// Index-aligned with plan.jobs; nullopt for jobs not yet executed
+  /// (only possible when max_jobs stopped the run early).
+  std::vector<std::optional<JobResult>> jobs;
+  std::size_t resumed = 0;   ///< jobs restored from the journal
+  std::size_t executed = 0;  ///< jobs run by this invocation
+  bool complete = false;     ///< every job has a result
+  /// Campaign-wide streaming aggregate of completed-trial round counts
+  /// (resumed jobs pooled via OnlineStats::from_moments).
+  OnlineStats all_rounds;
+};
+
+/// Executes the plan. When an output stem is configured the journal is
+/// updated after every job and, once complete, `<stem>.jsonl` and
+/// `<stem>.csv` are (re)written deterministically.
+CampaignResult run_campaign(const CampaignPlan& plan,
+                            const CampaignOptions& options = {});
+
+/// The deterministic graph instance for a job, rebuilt on demand (the
+/// campaign runner caches these internally; thin-wrapper experiment
+/// binaries use this to re-derive the instance for e.g. spectral reports).
+std::shared_ptr<const Graph> build_job_graph(const CampaignPlan& plan,
+                                             const JobSpec& job);
+
+}  // namespace cobra::scenario

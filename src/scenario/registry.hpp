@@ -1,0 +1,83 @@
+// SPDX-License-Identifier: MIT
+//
+// Scenario registries: string-keyed factories mapping a resolved parameter
+// map to (a) a graph instance covering every family in
+// src/graph/generators*.cpp plus external edge-list files, and (b) a
+// spreading process adapted to the common ScenarioProcess interface
+// (COBRA integer-k / fractional, BIPS, push, pull, push-pull, flood,
+// random walk, branching walk, SIS).
+//
+// Parameters arrive as strings straight from the spec; each factory
+// validates its own keys and rejects unknown ones loudly (SpecError), so a
+// typo in a scenario file names the bad key instead of being ignored.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/process_common.hpp"
+#include "graph/graph.hpp"
+#include "rand/rng.hpp"
+#include "scenario/spec.hpp"
+
+namespace cobra::scenario {
+
+/// Resolved scalar parameters in declaration order (order matters for
+/// sweep-axis nesting; lookups are by key).
+using ParamMap = std::vector<std::pair<std::string, std::string>>;
+
+/// Value of `key`, or nullptr.
+const std::string* find_param(const ParamMap& params, std::string_view key);
+
+/// Deterministic canonical form "k1=v1,k2=v2" with keys sorted — the basis
+/// for graph-cache keys, graph seeds, and campaign fingerprints.
+std::string canonical_params(const ParamMap& params);
+
+// ---- graph families ----
+
+/// Registered family names, sorted.
+std::vector<std::string> graph_families();
+bool is_graph_family(std::string_view name);
+
+/// True if `key` is a parameter the family accepts — the campaign planner
+/// rejects typo'd spec keys up front (so --dry-run vets them) instead of
+/// letting them surface as sweep axes that error mid-run.
+bool graph_family_has_param(std::string_view family, std::string_view key);
+
+/// Builds the family named params["family"]; `rng` drives the random
+/// families (deterministic families ignore it). Throws SpecError on an
+/// unknown family, missing/malformed parameters, or unknown keys.
+Graph build_graph(const ParamMap& params, Rng& rng);
+
+// ---- processes ----
+
+/// A spreading process bound to one graph. Implementations may keep
+/// per-instance workspaces (COBRA/BIPS reuse one process across trials),
+/// so a ScenarioProcess must be driven by a single thread.
+class ScenarioProcess {
+ public:
+  virtual ~ScenarioProcess() = default;
+
+  /// One trial from `start`; every result field is a pure function of
+  /// (graph, params, start, rng state).
+  virtual SpreadResult run(Vertex start, Rng& rng) = 0;
+};
+
+/// Registered process names, sorted.
+std::vector<std::string> process_names();
+bool is_process_name(std::string_view name);
+
+/// True if `key` is a parameter the process accepts (see
+/// graph_family_has_param).
+bool process_has_param(std::string_view name, std::string_view key);
+
+/// Instantiates the process named params["name"] on `g`. Throws SpecError
+/// on unknown names, malformed parameters, or unknown keys.
+std::unique_ptr<ScenarioProcess> make_process(const Graph& g,
+                                              const ParamMap& params);
+
+}  // namespace cobra::scenario

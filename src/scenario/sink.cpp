@@ -1,0 +1,290 @@
+// SPDX-License-Identifier: MIT
+#include "scenario/sink.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace cobra::scenario {
+
+namespace {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void append_params_object(std::string& out, const ParamMap& params) {
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : params) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(key);
+    out += "\":\"";
+    out += json_escape(value);
+    out += '"';
+  }
+  out += '}';
+}
+
+void append_summary_object(std::string& out, const Summary& summary) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf, "{\"count\":%zu", summary.count);
+  out += buf;
+  const std::pair<const char*, double> fields[] = {
+      {"mean", summary.mean}, {"stddev", summary.stddev},
+      {"min", summary.min},   {"median", summary.median},
+      {"p90", summary.p90},   {"p99", summary.p99},
+      {"max", summary.max},
+  };
+  for (const auto& [name, value] : fields) {
+    out += ",\"";
+    out += name;
+    out += "\":";
+    out += format_double(value);
+  }
+  out += '}';
+}
+
+/// Params joined "k=v;..." minus the dispatch key ("family" / "name").
+std::string params_compact(const ParamMap& params, std::string_view skip) {
+  std::string out;
+  for (const auto& [key, value] : params) {
+    if (key == skip) continue;
+    if (!out.empty()) out += ';';
+    out += key;
+    out += '=';
+    out += value;
+  }
+  return out;
+}
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void append_summary_payload(std::ostringstream& os, const Summary& s) {
+  char buf[32];
+  os << ' ' << s.count;
+  for (const double value :
+       {s.mean, s.stddev, s.min, s.median, s.p90, s.p99, s.max}) {
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    os << ' ' << buf;
+  }
+}
+
+bool read_summary_payload(std::istringstream& is, Summary& s) {
+  return static_cast<bool>(is >> s.count >> s.mean >> s.stddev >> s.min >>
+                           s.median >> s.p90 >> s.p99 >> s.max);
+}
+
+std::string journal_header(const CampaignPlan& plan) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf,
+                "cobra-scenario-journal v1 fp=%016llx jobs=%zu",
+                static_cast<unsigned long long>(plan.fingerprint),
+                plan.jobs.size());
+  return buf;
+}
+
+}  // namespace
+
+std::string format_double(double value) {
+  char buf[64];
+  // Integral values (the common case: round counts) print as integers;
+  // everything else gets the shortest precision that round-trips exactly.
+  if (value == static_cast<double>(static_cast<long long>(value)) &&
+      value > -1e15 && value < 1e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(value));
+    return buf;
+  }
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  return buf;
+}
+
+std::string jsonl_record(const CampaignPlan& plan, const JobSpec& job,
+                         const JobResult& result) {
+  std::string out;
+  out.reserve(512);
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "{\"job\":%zu,\"campaign\":\"", job.index);
+  out += buf;
+  out += json_escape(plan.name);
+  std::snprintf(buf, sizeof buf, "\",\"seed\":%llu,\"graph\":",
+                static_cast<unsigned long long>(job.seed_index));
+  out += buf;
+  append_params_object(out, job.graph);
+  out += ",\"process\":";
+  append_params_object(out, job.process);
+  out += ",\"graph_name\":\"";
+  out += json_escape(result.graph_name);
+  std::snprintf(buf, sizeof buf, "\",\"trials\":%zu,\"failed\":%zu,\"rounds\":",
+                result.trials, result.failed);
+  out += buf;
+  append_summary_object(out, result.rounds);
+  out += ",\"transmissions\":";
+  append_summary_object(out, result.transmissions);
+  out += '}';
+  return out;
+}
+
+std::string csv_header() {
+  return "job,seed,graph_name,family,graph_params,process,process_params,"
+         "trials,failed,rounds_count,rounds_mean,rounds_stddev,rounds_min,"
+         "rounds_median,rounds_p90,rounds_p99,rounds_max,tx_mean,tx_p90,"
+         "tx_max";
+}
+
+std::string csv_row(const CampaignPlan& plan, const JobSpec& job,
+                    const JobResult& result) {
+  (void)plan;
+  const std::string* family = find_param(job.graph, "family");
+  const std::string* process = find_param(job.process, "name");
+  std::string out;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%zu,%llu,", job.index,
+                static_cast<unsigned long long>(job.seed_index));
+  out += buf;
+  out += csv_escape(result.graph_name);
+  out += ',';
+  out += csv_escape(family != nullptr ? *family : "");
+  out += ',';
+  out += csv_escape(params_compact(job.graph, "family"));
+  out += ',';
+  out += csv_escape(process != nullptr ? *process : "");
+  out += ',';
+  out += csv_escape(params_compact(job.process, "name"));
+  std::snprintf(buf, sizeof buf, ",%zu,%zu,%zu,", result.trials,
+                result.failed, result.rounds.count);
+  out += buf;
+  const double fields[] = {
+      result.rounds.mean,   result.rounds.stddev, result.rounds.min,
+      result.rounds.median, result.rounds.p90,    result.rounds.p99,
+      result.rounds.max,    result.transmissions.mean,
+      result.transmissions.p90, result.transmissions.max,
+  };
+  bool first = true;
+  for (const double value : fields) {
+    if (!first) out += ',';
+    first = false;
+    out += format_double(value);
+  }
+  return out;
+}
+
+std::string serialize_job_result(const JobResult& result) {
+  std::ostringstream os;
+  os << result.trials << ' ' << result.failed;
+  append_summary_payload(os, result.rounds);
+  append_summary_payload(os, result.transmissions);
+  os << ' ' << result.graph_name;
+  return os.str();
+}
+
+bool parse_job_result(const std::string& payload, JobResult& result) {
+  std::istringstream is(payload);
+  if (!(is >> result.trials >> result.failed)) return false;
+  if (!read_summary_payload(is, result.rounds)) return false;
+  if (!read_summary_payload(is, result.transmissions)) return false;
+  is.get();  // the separating space
+  std::getline(is, result.graph_name);
+  return !result.graph_name.empty();
+}
+
+Journal::Journal(const std::string& path, const CampaignPlan& plan,
+                 bool resume) {
+  const std::string header = journal_header(plan);
+  if (resume) {
+    std::ifstream in(path);
+    if (in) {
+      std::string line;
+      if (std::getline(in, line)) {
+        if (line != header) {
+          throw SpecError(
+              "journal '" + path + "' belongs to a different campaign "
+              "(spec, trials, or base_seed changed); rerun with --fresh to "
+              "discard it");
+        }
+        while (std::getline(in, line)) {
+          std::size_t index = 0;
+          std::size_t length = 0;
+          int consumed = 0;
+          if (std::sscanf(line.c_str(), "job %zu %zu %n", &index, &length,
+                          &consumed) != 2) {
+            continue;  // partial frame from a kill mid-write
+          }
+          const std::string body = line.substr(consumed);
+          if (body.size() != length || index >= plan.jobs.size()) continue;
+          JobResult result;
+          if (parse_job_result(body, result)) restored_[index] = result;
+        }
+      }
+    }
+  }
+  // Rewrite header + restored frames from scratch: a kill mid-write leaves
+  // a partial line with no terminator, and appending after it would glue
+  // the next record onto the garbage, losing a valid checkpoint on the
+  // following resume. The rewrite goes through a temp file + rename so a
+  // kill during the rewrite itself cannot destroy prior checkpoints.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream rewrite(tmp, std::ios::trunc);
+    if (!rewrite) {
+      throw SpecError("cannot open journal '" + tmp + "' for writing");
+    }
+    rewrite << header << '\n';
+    for (const auto& [index, result] : restored_) {
+      const std::string payload = serialize_job_result(result);
+      rewrite << "job " << index << ' ' << payload.size() << ' ' << payload
+              << '\n';
+    }
+    rewrite.flush();
+    if (!rewrite) {
+      throw SpecError("failed writing journal '" + tmp + "'");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw SpecError("cannot replace journal '" + path + "'");
+  }
+  out_.open(path, std::ios::app);
+  if (!out_) {
+    throw SpecError("cannot open journal '" + path + "' for writing");
+  }
+}
+
+void Journal::append(std::size_t index, const JobResult& result) {
+  const std::string payload = serialize_job_result(result);
+  out_ << "job " << index << ' ' << payload.size() << ' ' << payload << '\n'
+       << std::flush;
+}
+
+}  // namespace cobra::scenario

@@ -1,0 +1,63 @@
+// SPDX-License-Identifier: MIT
+//
+// Campaign output plumbing: deterministic JSONL / CSV record rendering and
+// the append-only checkpoint journal.
+//
+// Journal format (one file per campaign, `<stem>.journal`):
+//   cobra-scenario-journal v1 fp=<fingerprint-hex> jobs=<N>
+//   job <index> <payload-bytes> <payload>
+// The payload is a whitespace-separated JobResult serialization whose
+// doubles round-trip exactly (%.17g), so records restored on resume render
+// byte-identically to freshly computed ones. Each line is flushed as the
+// job completes; a line truncated by a kill fails its length check and is
+// simply re-run on resume.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "scenario/campaign.hpp"
+
+namespace cobra::scenario {
+
+/// Shortest decimal string that parses back to exactly `value`.
+std::string format_double(double value);
+
+/// One JSONL record for a finished job (no trailing newline).
+std::string jsonl_record(const CampaignPlan& plan, const JobSpec& job,
+                         const JobResult& result);
+
+std::string csv_header();
+std::string csv_row(const CampaignPlan& plan, const JobSpec& job,
+                    const JobResult& result);
+
+/// JobResult <-> journal payload.
+std::string serialize_job_result(const JobResult& result);
+bool parse_job_result(const std::string& payload, JobResult& result);
+
+class Journal {
+ public:
+  /// Opens `path`. With resume=true an existing journal whose header
+  /// matches is replayed into restored(); a header mismatch throws
+  /// SpecError (the spec changed under the journal). The file is then
+  /// rewritten as header + restored frames, so any partial frame left by
+  /// a kill mid-write is dropped before new appends follow it.
+  Journal(const std::string& path, const CampaignPlan& plan, bool resume);
+
+  /// Restored (job index -> payload-parsed result) entries.
+  const std::map<std::size_t, JobResult>& restored() const {
+    return restored_;
+  }
+
+  /// Appends one completed job and flushes. Not thread-safe; callers
+  /// serialize (the campaign runner appends under its results mutex).
+  void append(std::size_t index, const JobResult& result);
+
+ private:
+  std::ofstream out_;
+  std::map<std::size_t, JobResult> restored_;
+};
+
+}  // namespace cobra::scenario

@@ -1,6 +1,7 @@
 // SPDX-License-Identifier: MIT
 #include "sim/sweep.hpp"
 
+#include <stdexcept>
 #include <vector>
 
 namespace cobra {
@@ -30,14 +31,26 @@ SpreadMeasurement summarize_results(const std::vector<SpreadResult>& results) {
 
 }  // namespace
 
+std::vector<Vertex> spreadable_starts(const Graph& g) {
+  std::vector<Vertex> starts;
+  starts.reserve(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (g.degree(v) > 0) starts.push_back(v);
+  }
+  if (starts.empty()) {
+    throw std::invalid_argument(
+        "spreadable_starts: graph '" + g.name() + "' has no edges");
+  }
+  return starts;
+}
+
 SpreadMeasurement measure_spread(
     const Graph& g, const TrialOptions& trials,
     const std::function<SpreadResult(Vertex, Rng&)>& run) {
-  const std::size_t n = g.num_vertices();
+  const auto starts = spreadable_starts(g);
   const auto results = run_trials_collect<SpreadResult>(
       trials, [&](std::size_t i, Rng& rng) {
-        const auto start = static_cast<Vertex>(i % n);
-        return run(start, rng);
+        return run(starts[i % starts.size()], rng);
       });
   return summarize_results(results);
 }
@@ -46,23 +59,23 @@ SpreadMeasurement measure_cobra(const Graph& g, const CobraOptions& options,
                                 const TrialOptions& trials) {
   CobraOptions local = options;
   local.record_curves = true;  // needed for transmission accounting
-  const std::size_t n = g.num_vertices();
+  const auto starts = spreadable_starts(g);
   // One process per participating thread; each trial resets it in O(1).
   const auto results = run_trials_collect<SpreadResult, CobraProcess>(
-      trials, [&] { return CobraProcess(g, 0, local); },
+      trials, [&] { return CobraProcess(g, starts.front(), local); },
       [&](std::size_t i, Rng& rng, CobraProcess& process) {
-        return run_cobra_cover(process, static_cast<Vertex>(i % n), rng);
+        return run_cobra_cover(process, starts[i % starts.size()], rng);
       });
   return summarize_results(results);
 }
 
 SpreadMeasurement measure_bips(const Graph& g, const BipsOptions& options,
                                const TrialOptions& trials) {
-  const std::size_t n = g.num_vertices();
+  const auto starts = spreadable_starts(g);
   const auto results = run_trials_collect<SpreadResult, BipsProcess>(
-      trials, [&] { return BipsProcess(g, 0, options); },
+      trials, [&] { return BipsProcess(g, starts.front(), options); },
       [&](std::size_t i, Rng& rng, BipsProcess& process) {
-        return run_bips_infection(process, static_cast<Vertex>(i % n), rng);
+        return run_bips_infection(process, starts[i % starts.size()], rng);
       });
   return summarize_results(results);
 }

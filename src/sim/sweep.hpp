@@ -24,9 +24,17 @@ struct SpreadMeasurement {
   std::size_t failed = 0;  ///< trials that hit max_rounds (excluded above)
 };
 
-/// Cover time of COBRA over `trials.trials` runs; trial i starts at vertex
-/// i % n (vertex-transitive families are start-independent; others get a
-/// rotating sample of starts).
+/// Vertices eligible as trial starting points: every vertex of positive
+/// degree, ascending. Starting a spreading process on a degree-0 vertex is
+/// undefined (the neighbour draw has an empty support), and irregular
+/// external graphs (scenario `graph.file=`) can legitimately contain such
+/// vertices — the rotation below skips them. Throws std::invalid_argument
+/// when the graph has no edges at all.
+std::vector<Vertex> spreadable_starts(const Graph& g);
+
+/// Cover time of COBRA over `trials.trials` runs; trial i starts at the
+/// (i % #starts)-th non-isolated vertex (vertex-transitive families are
+/// start-independent; others get a rotating sample of starts).
 SpreadMeasurement measure_cobra(const Graph& g, const CobraOptions& options,
                                 const TrialOptions& trials);
 

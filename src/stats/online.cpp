@@ -19,6 +19,18 @@ void OnlineStats::add(double value) noexcept {
   m2_ += delta * (value - mean_);
 }
 
+OnlineStats OnlineStats::from_moments(std::size_t count, double mean,
+                                      double variance, double min,
+                                      double max) noexcept {
+  OnlineStats stats;
+  stats.count_ = count;
+  stats.mean_ = mean;
+  stats.m2_ = count >= 2 ? variance * static_cast<double>(count - 1) : 0.0;
+  stats.min_ = min;
+  stats.max_ = max;
+  return stats;
+}
+
 double OnlineStats::variance() const noexcept {
   if (count_ < 2) return 0.0;
   return m2_ / static_cast<double>(count_ - 1);

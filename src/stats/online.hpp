@@ -13,6 +13,13 @@ class OnlineStats {
  public:
   void add(double value) noexcept;
 
+  /// Reconstructs an accumulator from published moments (count, mean,
+  /// sample variance, min, max) so archived summaries — e.g. scenario
+  /// journal records — can be pooled with live streams via merge().
+  static OnlineStats from_moments(std::size_t count, double mean,
+                                  double variance, double min,
+                                  double max) noexcept;
+
   std::size_t count() const noexcept { return count_; }
   double mean() const noexcept { return mean_; }
   /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.

@@ -1,7 +1,10 @@
 // SPDX-License-Identifier: MIT
 #include "util/flags.hpp"
 
+#include <algorithm>
 #include <charconv>
+#include <cstdio>
+#include <ostream>
 #include <stdexcept>
 
 namespace cobra {
@@ -29,7 +32,17 @@ Flags::Flags(int argc, const char* const* argv) {
   }
 }
 
+void Flags::record_query(std::string_view name, std::string_view kind,
+                         std::string fallback) const {
+  for (const auto& query : queried_) {
+    if (query.name == name) return;
+  }
+  queried_.push_back(
+      {std::string(name), std::string(kind), std::move(fallback)});
+}
+
 bool Flags::has(std::string_view name) const {
+  record_query(name, "flag", "");
   const auto it = values_.find(name);
   if (it == values_.end()) return false;
   consumed_[it->first] = true;
@@ -37,6 +50,7 @@ bool Flags::has(std::string_view name) const {
 }
 
 std::string Flags::get(std::string_view name, std::string_view fallback) const {
+  record_query(name, "string", std::string(fallback));
   const auto it = values_.find(name);
   if (it == values_.end()) return std::string(fallback);
   consumed_[it->first] = true;
@@ -44,6 +58,7 @@ std::string Flags::get(std::string_view name, std::string_view fallback) const {
 }
 
 std::int64_t Flags::get_int(std::string_view name, std::int64_t fallback) const {
+  record_query(name, "int", std::to_string(fallback));
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
   consumed_[it->first] = true;
@@ -59,6 +74,11 @@ std::int64_t Flags::get_int(std::string_view name, std::int64_t fallback) const 
 }
 
 double Flags::get_double(std::string_view name, double fallback) const {
+  {
+    char buffer[48];
+    std::snprintf(buffer, sizeof buffer, "%g", fallback);
+    record_query(name, "number", buffer);
+  }
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
   consumed_[it->first] = true;
@@ -74,6 +94,7 @@ double Flags::get_double(std::string_view name, double fallback) const {
 }
 
 bool Flags::get_bool(std::string_view name, bool fallback) const {
+  record_query(name, "bool", fallback ? "true" : "false");
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
   consumed_[it->first] = true;
@@ -96,6 +117,32 @@ std::vector<std::string> Flags::unconsumed() const {
     }
   }
   return out;
+}
+
+void Flags::warn_unconsumed(std::ostream& os) const {
+  for (const auto& name : unconsumed()) {
+    os << "warning: unrecognized flag --" << name << "\n";
+  }
+}
+
+void Flags::print_help(std::ostream& os) const {
+  std::vector<FlagQuery> sorted = queried_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const FlagQuery& a, const FlagQuery& b) {
+              return a.name < b.name;
+            });
+  for (const auto& query : sorted) {
+    std::string left = "  --" + query.name;
+    if (query.kind != "flag") left += " <" + query.kind + ">";
+    os << left;
+    for (std::size_t pad = left.size(); pad < 28; ++pad) os << ' ';
+    if (query.kind == "flag") {
+      os << "(boolean switch)";
+    } else {
+      os << "default: " << (query.fallback.empty() ? "\"\"" : query.fallback);
+    }
+    os << "\n";
+  }
 }
 
 }  // namespace cobra

@@ -25,14 +25,20 @@ TEST(Cobra, RejectsBadConstruction) {
   CobraOptions zero_k;
   zero_k.branching = Branching::fixed(0);
   EXPECT_THROW(CobraProcess(g, 0, zero_k), std::invalid_argument);
-  GraphBuilder lonely(2);
-  lonely.add_edge(0, 1);
   Graph with_isolated = [] {
     GraphBuilder b(3);
     b.add_edge(0, 1);
     return b.build("iso");
   }();
-  EXPECT_THROW(CobraProcess(with_isolated, 0), std::invalid_argument);
+  // A degree-0 start is rejected; isolated vertices elsewhere are fine
+  // (the frontier can never reach vertex 2, so cover never completes).
+  EXPECT_THROW(CobraProcess(with_isolated, 2), std::invalid_argument);
+  CobraProcess tolerated(with_isolated, 0);
+  EXPECT_THROW(tolerated.reset(2), std::invalid_argument);
+  Rng rng(3);
+  for (int i = 0; i < 32; ++i) tolerated.step(rng);
+  EXPECT_EQ(tolerated.visited_count(), 2u);
+  EXPECT_FALSE(tolerated.covered());
 }
 
 TEST(Cobra, InitialStateIsStartSet) {

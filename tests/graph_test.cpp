@@ -3,13 +3,16 @@
 // Unit tests for the CSR Graph and GraphBuilder.
 #include "graph/graph.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
 #include <gtest/gtest.h>
 
 #include "graph/builder.hpp"
+#include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "rand/rng.hpp"
 
 namespace cobra {
 namespace {
@@ -169,6 +172,67 @@ TEST(GraphIo, ReadSkipsCommentsAndBlankLines) {
   const Graph g = read_edge_list(buffer);
   EXPECT_EQ(g.num_vertices(), 3u);
   EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphIo, ReadToleratesWeightsAndInlineComments) {
+  std::stringstream buffer(
+      "% matrix-market style comment\n"
+      "n 4\n"
+      "0 1 0.5     # weighted, weight ignored\n"
+      "1 2 2.25\n"
+      "2 3\n");
+  const Graph g = read_edge_list(buffer, "weighted");
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 3));
+}
+
+TEST(GraphIo, ReadRejectsJunkAfterWeight) {
+  std::stringstream buffer("n 3\n0 1 0.5 oops\n");
+  try {
+    read_edge_list(buffer);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(GraphIo, HeaderlessAndDuplicateTolerantModes) {
+  // Real-world lists: no header (n inferred), both edge directions listed.
+  std::stringstream buffer("0 1\n1 0 0.5\n1 2\n2 3 1.5\n");
+  EdgeListOptions options;
+  options.require_header = false;
+  options.dedup = true;
+  const Graph g = read_edge_list(buffer, "external", options);
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  // A header is still honoured in headerless mode (extra isolated vertex).
+  std::stringstream with_header("n 6\n0 1\n");
+  const Graph h = read_edge_list(with_header, "padded", options);
+  EXPECT_EQ(h.num_vertices(), 6u);
+  EXPECT_EQ(h.num_edges(), 1u);
+}
+
+TEST(GraphIo, WeightedRoundTrip) {
+  // write_edge_list output parses back to the same graph under the
+  // tolerant options (satellite round-trip guarantee).
+  Rng rng(5);
+  const Graph g = gen::erdos_renyi(40, 0.15, rng);
+  std::stringstream buffer;
+  write_edge_list(g, buffer);
+  EdgeListOptions options;
+  options.require_header = false;
+  options.dedup = true;
+  const Graph back = read_edge_list(buffer, g.name(), options);
+  ASSERT_EQ(back.num_vertices(), g.num_vertices());
+  ASSERT_EQ(back.num_edges(), g.num_edges());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const auto a = g.neighbors(v);
+    const auto b = back.neighbors(v);
+    ASSERT_EQ(a.size(), b.size()) << "vertex " << v;
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  }
 }
 
 TEST(GraphIo, DotOutputContainsAllEdges) {

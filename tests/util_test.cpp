@@ -86,6 +86,38 @@ TEST(FlagsTest, UnconsumedTracking) {
   EXPECT_EQ(leftover[0], "typo");
 }
 
+TEST(FlagsTest, HelpGeneratedFromQueriedFlags) {
+  const auto flags = make_flags({"--trials=5"});
+  EXPECT_FALSE(flags.help_requested());
+  flags.get_int("trials", 100);
+  flags.get("scale", "small");
+  flags.get_double("rho", 0.25);
+  flags.has("csv");
+  const auto& queried = flags.queried();
+  // help itself + the four queries above, first-query order, deduped.
+  ASSERT_EQ(queried.size(), 5u);
+  flags.get_int("trials", 7);  // re-query does not duplicate
+  EXPECT_EQ(flags.queried().size(), 5u);
+  std::ostringstream os;
+  flags.print_help(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("--trials <int>"), std::string::npos);
+  EXPECT_NE(text.find("default: 100"), std::string::npos);
+  EXPECT_NE(text.find("--scale <string>"), std::string::npos);
+  EXPECT_NE(text.find("default: small"), std::string::npos);
+  EXPECT_NE(text.find("--rho <number>"), std::string::npos);
+  EXPECT_NE(text.find("--csv"), std::string::npos);
+  EXPECT_NE(text.find("(boolean switch)"), std::string::npos);
+}
+
+TEST(FlagsTest, WarnUnconsumedPrintsEachFlagOnce) {
+  const auto flags = make_flags({"--used=1", "--typo=2"});
+  EXPECT_EQ(flags.get_int("used", 0), 1);
+  std::ostringstream os;
+  flags.warn_unconsumed(os);
+  EXPECT_EQ(os.str(), "warning: unrecognized flag --typo\n");
+}
+
 TEST(TableTest, AlignedOutput) {
   Table table({"name", "value"});
   table.add_row({"x", "1"});

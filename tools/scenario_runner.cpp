@@ -1,0 +1,171 @@
+// SPDX-License-Identifier: MIT
+//
+// scenario_runner — the declarative campaign driver. Turns a scenario spec
+// (see src/scenario/spec.hpp for the grammar) into a full experiment
+// campaign: grid expansion, thread-pool sharding, streaming aggregation,
+// JSONL/CSV sinks, and checkpoint/resume via an append-only journal.
+//
+//   scenario_runner examples/scenarios/cover_vs_n.scenario
+//   scenario_runner spec.scenario --threads 8 --output out/run1
+//   scenario_runner spec.scenario --max-jobs 5   # stop early (checkpoint)
+//   scenario_runner spec.scenario                # picks up where it left off
+//
+// Exit status: 0 on success (including a clean --max-jobs stop), 1 on any
+// spec/plan/journal error.
+#include <cstdio>
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "scenario/campaign.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/sink.hpp"
+#include "scenario/spec.hpp"
+#include "util/flags.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace cobra;
+using namespace cobra::scenario;
+
+/// Output stem fallback: the spec filename without directory or extension.
+std::string default_stem(const std::string& path) {
+  const std::size_t slash = path.find_last_of("/\\");
+  std::string stem = slash == std::string::npos ? path : path.substr(slash + 1);
+  const std::size_t dot = stem.rfind('.');
+  if (dot != std::string::npos && dot > 0) stem.erase(dot);
+  return stem;
+}
+
+void print_registries() {
+  std::printf("graph families:\n");
+  for (const auto& name : graph_families()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  std::printf("processes:\n");
+  for (const auto& name : process_names()) {
+    std::printf("  %s\n", name.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  // Query every flag up front so --help can render the full set.
+  const bool help = flags.help_requested();
+  const bool list = flags.has("list");
+  const bool dry_run = flags.has("dry-run");
+  const bool fresh = flags.has("fresh");
+  const bool quiet = flags.has("quiet");
+  const std::string output = flags.get("output", "");
+  const std::int64_t threads = flags.get_int("threads", -1);
+  const std::int64_t trials = flags.get_int("trials", -1);
+  const std::int64_t max_jobs = flags.get_int("max-jobs", 0);
+  // --base-seed, with the spec-style --base_seed spelling accepted too.
+  const std::int64_t base_seed =
+      flags.get_int("base-seed", flags.get_int("base_seed", 0));
+  const bool have_seed_override =
+      flags.has("base-seed") || flags.has("base_seed");
+
+  if (help) {
+    std::printf(
+        "usage: scenario_runner <spec.scenario> [flags]\n\n"
+        "Runs the experiment campaign described by a scenario spec: every\n"
+        "sweep-axis combination becomes one deterministic job; finished\n"
+        "jobs are checkpointed to <stem>.journal, and rerunning the same\n"
+        "spec resumes the remaining jobs. Once complete, <stem>.jsonl and\n"
+        "<stem>.csv are written (byte-identical however the campaign was\n"
+        "interrupted).\n\nflags:\n");
+    flags.print_help(std::cout);
+    std::printf("\n");
+    print_registries();
+    return 0;
+  }
+  if (list) {
+    print_registries();
+    flags.warn_unconsumed(std::cerr);
+    return 0;
+  }
+
+  if (flags.positionals().empty()) {
+    std::fprintf(stderr,
+                 "error: no scenario spec given (try --help)\n");
+    return 1;
+  }
+  if (flags.positionals().size() > 1) {
+    std::fprintf(stderr,
+                 "error: one spec per run, got %zu (campaigns checkpoint "
+                 "independently; run them separately)\n",
+                 flags.positionals().size());
+    return 1;
+  }
+
+  try {
+    Stopwatch watch;
+    const std::string spec_path = flags.positionals().front();
+    ScenarioSpec spec = ScenarioSpec::load(spec_path);
+    // CLI overrides rewrite the spec before planning so the plan (and its
+    // fingerprint) reflects what actually runs.
+    if (trials >= 0) spec.set("campaign", "trials", std::to_string(trials));
+    if (have_seed_override) {
+      spec.set("campaign", "base_seed", std::to_string(base_seed));
+    }
+    if (threads >= 0) spec.set("campaign", "threads", std::to_string(threads));
+
+    CampaignPlan plan = plan_campaign(spec);
+    if (plan.output.empty()) plan.output = default_stem(spec_path);
+
+    if (dry_run) {
+      std::printf("campaign '%s': %zu jobs x %zu trials, base_seed=%llu, "
+                  "output stem '%s'\n",
+                  plan.name.c_str(), plan.jobs.size(), plan.trials,
+                  static_cast<unsigned long long>(plan.base_seed),
+                  plan.output.c_str());
+      for (const JobSpec& job : plan.jobs) {
+        std::printf("  job %zu seed=%llu graph{%s} process{%s}\n", job.index,
+                    static_cast<unsigned long long>(job.seed_index),
+                    canonical_params(job.graph).c_str(),
+                    canonical_params(job.process).c_str());
+      }
+      flags.warn_unconsumed(std::cerr);
+      return 0;
+    }
+
+    CampaignOptions options;
+    options.output = output;
+    options.resume = !fresh;
+    options.max_jobs = static_cast<std::size_t>(max_jobs < 0 ? 0 : max_jobs);
+    if (!quiet) options.progress = &std::cout;
+
+    flags.warn_unconsumed(std::cerr);
+    const CampaignResult result = run_campaign(plan, options);
+
+    const std::string stem = !output.empty() ? output : plan.output;
+    std::printf("campaign '%s': %zu/%zu jobs done (%zu resumed, %zu run "
+                "now) in %.1fs\n",
+                plan.name.c_str(), result.resumed + result.executed,
+                plan.jobs.size(), result.resumed, result.executed,
+                watch.seconds());
+    if (result.complete) {
+      std::printf("wrote %s.jsonl and %s.csv", stem.c_str(), stem.c_str());
+      if (result.all_rounds.count() > 0) {
+        std::printf("  (all completed trials: rounds mean=%s min=%s max=%s "
+                    "n=%zu)",
+                    format_double(result.all_rounds.mean()).c_str(),
+                    format_double(result.all_rounds.min()).c_str(),
+                    format_double(result.all_rounds.max()).c_str(),
+                    result.all_rounds.count());
+      }
+      std::printf("\n");
+    } else {
+      std::printf("campaign checkpointed at %s.journal; rerun the same "
+                  "command to resume\n", stem.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
