@@ -1,21 +1,22 @@
 // SPDX-License-Identifier: MIT
 //
-// E12 — the motivating trade-off: COBRA vs push, push-pull, and flooding
-// on rounds-to-completion, total messages, and the per-vertex-per-round
-// message burst. COBRA's selling point (paper abstract) is fast
-// propagation "with a limited number of transmissions per vertex per
-// step" and no multi-round state.
+// E12 — the motivating trade-off: COBRA vs push, pull, push-pull, and
+// flooding on rounds-to-completion, total messages, and the
+// per-vertex-per-round message burst. COBRA's selling point (paper
+// abstract) is fast propagation "with a limited number of transmissions
+// per vertex per step" and no multi-round state.
+//
+// Every row is driven through the unified process factory — the same
+// registry the scenario engine sweeps — so this binary is also the round
+// trip test that the registry's defaults match the paper's protocol
+// matrix. The peak column is measured, not asserted: COBRA reports k,
+// the single-contact protocols 1, flooding the graph's max degree.
 #include <cmath>
-#include <functional>
 #include <vector>
 
 #include "exp_common.hpp"
-#include "core/cobra.hpp"
+#include "core/process_factory.hpp"
 #include "graph/generators.hpp"
-#include "protocols/flood.hpp"
-#include "protocols/pull.hpp"
-#include "protocols/push.hpp"
-#include "protocols/push_pull.hpp"
 #include "sim/sweep.hpp"
 
 int main(int argc, char** argv) {
@@ -34,38 +35,31 @@ int main(int argc, char** argv) {
   graphs.push_back(gen::complete(env.scale.pick<std::size_t>(512, 1024, 4096)));
   graphs.push_back(gen::torus({33, 33}));
 
+  const struct {
+    const char* label;
+    const char* process;
+    ProcessParams params;
+  } rows[] = {
+      {"COBRA k=2", "cobra", {{"k", "2"}}},
+      {"push", "push", {}},
+      {"pull", "pull", {}},
+      {"push-pull", "push-pull", {}},
+      {"flood", "flood", {}},
+  };
+
   for (const Graph& g : graphs) {
     Table table({"protocol", "rounds mean", "rounds p90", "msgs mean",
                  "msgs/vertex", "peak msgs/vtx/round"});
     const auto nn = static_cast<double>(g.num_vertices());
-    const auto add = [&](const char* name, const SpreadMeasurement& m,
-                         std::uint64_t peak) {
-      table.add_row({name, Table::cell(m.rounds.mean, 1),
+    for (const auto& row : rows) {
+      const SpreadMeasurement m =
+          measure_process(g, row.process, row.params, trials);
+      table.add_row({row.label, Table::cell(m.rounds.mean, 1),
                      Table::cell(m.rounds.p90, 1),
                      Table::cell(m.transmissions.mean, 0),
                      Table::cell(m.transmissions.mean / nn, 2),
-                     Table::cell(peak)});
-    };
-    CobraOptions k2;
-    add("COBRA k=2", measure_cobra(g, k2, trials), 2);
-    add("push",
-        measure_spread(g, trials,
-                       [&g](Vertex s, Rng& rng) { return run_push(g, s, {}, rng); }),
-        1);
-    add("pull",
-        measure_spread(g, trials,
-                       [&g](Vertex s, Rng& rng) { return run_pull(g, s, {}, rng); }),
-        1);
-    add("push-pull",
-        measure_spread(g, trials,
-                       [&g](Vertex s, Rng& rng) {
-                         return run_push_pull(g, s, {}, rng);
-                       }),
-        1);
-    add("flood",
-        measure_spread(g, trials,
-                       [&g](Vertex s, Rng&) { return run_flood(g, s, {}); }),
-        static_cast<std::uint64_t>(g.max_degree()));
+                     Table::cell(m.peak_vertex_round)});
+    }
     std::printf("\n-- %s --\n", g.name().c_str());
     env.emit(table);
   }

@@ -14,8 +14,7 @@ void Accounting::reset() {
 }
 
 void Accounting::record_vertex_send(std::uint64_t count) {
-  if (per_round_.empty()) begin_round();
-  per_round_.back() += count;
+  if (!per_round_.empty()) per_round_.back() += count;
   total_ += count;
   peak_vertex_ = std::max(peak_vertex_, count);
 }

@@ -12,13 +12,17 @@ namespace cobra {
 
 class Accounting {
  public:
-  /// Starts a new round.
+  /// Starts a new round of per-round tracking. Optional: totals and the
+  /// per-vertex peak are maintained regardless; without begin_round the
+  /// per-round breakdown simply stays empty (the bulk Monte Carlo mode).
   void begin_round();
 
   /// Discards all recorded rounds; used when a process is reset for reuse.
   void reset();
 
-  /// Records `count` messages sent by one vertex in the current round.
+  /// Records `count` messages sent by one vertex. Always feeds total() and
+  /// peak_vertex_round(); feeds the current round's entry only when a
+  /// round is open (see begin_round).
   void record_vertex_send(std::uint64_t count);
 
   std::uint64_t total() const noexcept { return total_; }

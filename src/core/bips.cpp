@@ -36,6 +36,13 @@ BipsProcess::BipsProcess(const Graph& g, std::span<const Vertex> sources,
   if (!options_.branching.is_fractional() && options_.branching.k == 0) {
     throw std::invalid_argument("BipsProcess requires branching k >= 1");
   }
+  // Worst-case list capacity up front (every list is bounded by n), so a
+  // trial loop's steady state performs zero allocations.
+  cand_.reserve(g.num_vertices());
+  next_cand_.reserve(g.num_vertices());
+  merge_buf_.reserve(g.num_vertices());
+  flips_.reserve(g.num_vertices());
+  newly_.reserve(g.num_vertices());
   reset(sources);
 }
 
@@ -247,12 +254,15 @@ std::size_t BipsProcess::step(Rng& rng) {
     }
     // The retained prefix is ascending (evaluation order); merge the
     // sorted recruits to keep the whole list ascending for determinism.
+    // Merged through a pre-reserved scratch vector: std::inplace_merge
+    // would heap-allocate its temporary buffer every round, breaking the
+    // zero-allocation steady state bench/micro_process asserts.
     if (!newly_.empty()) {
       std::sort(newly_.begin(), newly_.end());
-      const auto mid = static_cast<std::ptrdiff_t>(next_cand_.size());
-      next_cand_.insert(next_cand_.end(), newly_.begin(), newly_.end());
-      std::inplace_merge(next_cand_.begin(), next_cand_.begin() + mid,
-                         next_cand_.end());
+      merge_buf_.clear();
+      std::merge(next_cand_.begin(), next_cand_.end(), newly_.begin(),
+                 newly_.end(), std::back_inserter(merge_buf_));
+      next_cand_.swap(merge_buf_);
     }
     cand_.swap(next_cand_);
     active_estimate_ = cand_.size();

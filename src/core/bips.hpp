@@ -39,6 +39,7 @@
 #include <span>
 #include <vector>
 
+#include "core/process.hpp"
 #include "core/process_common.hpp"
 #include "graph/graph.hpp"
 #include "rand/rng.hpp"
@@ -51,7 +52,7 @@ struct BipsOptions {
   bool record_curve = true;
 };
 
-class BipsProcess {
+class BipsProcess final : public Process {
  public:
   /// Starts with A_0 = {source}. Requires min degree >= 1 (every vertex
   /// samples neighbours each round).
@@ -68,17 +69,36 @@ class BipsProcess {
 
   /// Rewinds to round 0 with the given persistent source set. Throws
   /// std::invalid_argument (before mutating) on a bad source set.
+  /// (Process::reset(Rng, ...) layers trial-RNG capture on top.)
+  using Process::reset;
   void reset(Vertex source);
   void reset(std::span<const Vertex> sources);
 
-  /// Executes one round; returns |A_{t+1}|.
+  /// Executes one round; returns |A_{t+1}|. The inherited Process::step()
+  /// drives this with the captured trial RNG.
+  using Process::step;
   std::size_t step(Rng& rng);
 
-  std::size_t round() const noexcept { return round_; }
+  std::size_t round() const noexcept override { return round_; }
   std::size_t infected_count() const noexcept { return infected_count_; }
   bool fully_infected() const noexcept {
     return infected_count_ == graph_->num_vertices();
   }
+
+  // ---- unified Process contract ----
+  bool done() const override {
+    return fully_infected() || round_ >= options_.max_rounds;
+  }
+  std::size_t reached_count() const override { return infected_count_; }
+  /// Working set = vertices the engine evaluates next round (active list
+  /// in list mode, every non-source vertex in scan mode).
+  std::size_t active_count() const override { return active_estimate_; }
+  bool completed() const override { return fully_infected(); }
+  std::uint64_t total_transmissions() const override { return probes_total_; }
+  std::uint64_t peak_vertex_round_transmissions() const override {
+    return probes_peak_vertex_;
+  }
+  std::size_t round_limit() const override { return options_.max_rounds; }
   bool is_infected(Vertex v) const { return infected_[v] != 0; }
   bool is_source(Vertex v) const { return is_source_[v] != 0; }
 
@@ -108,6 +128,11 @@ class BipsProcess {
   const Graph& graph() const noexcept { return *graph_; }
   const BipsOptions& options() const noexcept { return options_; }
 
+ protected:
+  void do_reset(std::span<const Vertex> sources) override { reset(sources); }
+  void do_step(Rng& rng) override { step(rng); }
+  bool curve_enabled() const override { return options_.record_curve; }
+
  private:
   /// True if u's next state is random, or forced to differ from its
   /// current state — exactly the vertices that need processing. Valid only
@@ -132,6 +157,8 @@ class BipsProcess {
   /// scratch vectors of the flip/recruit phases.
   std::vector<Vertex> cand_;
   std::vector<Vertex> next_cand_;
+  /// Allocation-free merge scratch for the recruit phase.
+  std::vector<Vertex> merge_buf_;
   std::vector<std::uint32_t> cand_mark_;
   std::vector<Vertex> flips_;
   std::vector<Vertex> newly_;

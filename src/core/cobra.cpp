@@ -28,6 +28,11 @@ CobraProcess::CobraProcess(const Graph& g, std::span<const Vertex> starts,
   if (g.num_vertices() == 0) {
     throw std::invalid_argument("CobraProcess requires a non-empty graph");
   }
+  // Worst-case list capacity up front (a dense-round materialization can
+  // hold all of C_t, and swap() trades the two vectors' capacities), so a
+  // trial loop's steady state performs zero allocations.
+  frontier_.reserve(g.num_vertices());
+  next_frontier_.reserve(g.num_vertices());
   // Start vertices must have an edge (reset() checks). Isolated vertices
   // elsewhere are harmless: the frontier only reaches vertices along
   // edges, so every active vertex always has a neighbour to choose — such
@@ -185,7 +190,10 @@ std::size_t CobraProcess::step(Rng& rng) {
       // Number of pushes this vertex performs this round.
       const unsigned pushes =
           fractional ? 1u + (extra.next(rng) ? 1u : 0u) : branching.k;
-      if (options_.record_curves) accounting_.record_vertex_send(pushes);
+      // Totals/peak are always counted (two scalar ops): transmission
+      // results must not depend on whether curves are recorded. Only the
+      // per-round breakdown is gated (begin_round above).
+      accounting_.record_vertex_send(pushes);
       if (buffered + pushes > kBufferSize) {
         // Oversized branching factor: draw and apply this vertex inline.
         for (unsigned p = 0; p < pushes; ++p) {

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "core/accounting.hpp"
+#include "core/process.hpp"
 #include "core/process_common.hpp"
 #include "graph/graph.hpp"
 #include "rand/rng.hpp"
@@ -47,13 +48,15 @@ struct CobraOptions {
   Branching branching = Branching::fixed(2);
   /// Abort threshold for run_cobra_cover (the process itself never dies).
   std::size_t max_rounds = 1u << 20;
-  /// Record per-round frontier sizes and message counts (small overhead;
-  /// off for bulk Monte Carlo).
+  /// Record the per-round curve and the per-round message breakdown
+  /// (small overhead; off for bulk Monte Carlo). Transmission totals and
+  /// the per-vertex peak are always counted, so results are independent
+  /// of this flag.
   bool record_curves = true;
   FrontierMode frontier_mode = FrontierMode::kAuto;
 };
 
-class CobraProcess {
+class CobraProcess final : public Process {
  public:
   /// Starts with C_0 = {start}. Requires start < n with degree >= 1
   /// (throws std::invalid_argument otherwise). Isolated vertices elsewhere
@@ -69,17 +72,38 @@ class CobraProcess {
   /// per-vertex arrays are invalidated by bumping the epoch stamp, not by
   /// refilling them. Throws std::invalid_argument (before mutating
   /// anything) on an empty, out-of-range, or degree-0 start set.
+  /// (Process::reset(Rng, ...) layers trial-RNG capture and curve
+  /// recording on top of these.)
+  using Process::reset;
   void reset(Vertex start);
   void reset(std::span<const Vertex> starts);
 
-  /// Executes one round; returns the number of first-time visits.
+  /// Executes one round; returns the number of first-time visits. The
+  /// inherited Process::step() drives this with the captured trial RNG.
+  using Process::step;
   std::size_t step(Rng& rng);
 
-  std::size_t round() const noexcept { return round_; }
+  std::size_t round() const noexcept override { return round_; }
   std::size_t visited_count() const noexcept { return visited_count_; }
   bool covered() const noexcept {
     return visited_count_ == graph_->num_vertices();
   }
+
+  // ---- unified Process contract ----
+  bool done() const override {
+    return covered() || round_ >= options_.max_rounds;
+  }
+  std::size_t reached_count() const override { return visited_count_; }
+  /// Working set = the active frontier C_t.
+  std::size_t active_count() const override { return frontier_size_; }
+  bool completed() const override { return covered(); }
+  std::uint64_t total_transmissions() const override {
+    return accounting_.total();
+  }
+  std::uint64_t peak_vertex_round_transmissions() const override {
+    return accounting_.peak_vertex_round();
+  }
+  std::size_t round_limit() const override { return options_.max_rounds; }
 
   std::size_t frontier_size() const noexcept { return frontier_size_; }
 
@@ -107,6 +131,11 @@ class CobraProcess {
   const Accounting& accounting() const noexcept { return accounting_; }
   const Graph& graph() const noexcept { return *graph_; }
   const CobraOptions& options() const noexcept { return options_; }
+
+ protected:
+  void do_reset(std::span<const Vertex> starts) override { reset(starts); }
+  void do_step(Rng& rng) override { step(rng); }
+  bool curve_enabled() const override { return options_.record_curves; }
 
  private:
   /// Per-vertex stamps are *global* round numbers: round r of the current

@@ -1,0 +1,67 @@
+// SPDX-License-Identifier: MIT
+#include "core/process.hpp"
+
+#include <algorithm>
+
+namespace cobra {
+
+void CurveObserver::on_reset(const Process& process) {
+  curve_.clear();
+  curve_.push_back(process.reached_count());
+}
+
+void CurveObserver::on_round(const Process&, const RoundStats& stats) {
+  curve_.push_back(stats.reached);
+}
+
+std::size_t Process::curve_size_hint() const {
+  return std::min(round_limit() + 1, kCurveReserveCap);
+}
+
+void Process::reset(Rng rng, std::span<const Vertex> starts) {
+  do_reset(starts);  // may throw; old state stays intact, curve untouched
+  rng_ = rng;
+  curve_.clear();
+  if (curve_enabled()) {
+    // One-time reserve per workspace: long SIS/walk curves grow to their
+    // hinted length without the doubling reallocations, and later trials
+    // inherit the capacity (clear() keeps it).
+    if (curve_.capacity() == 0) curve_.reserve(curve_size_hint());
+    append_curve_point();
+  }
+  if (observer_ != nullptr) observer_->on_reset(*this);
+}
+
+void Process::step() {
+  const std::uint64_t tx_before = total_transmissions();
+  do_step(rng_);
+  if (curve_enabled()) append_curve_point();
+  if (observer_ != nullptr) {
+    RoundStats stats;
+    stats.round = round();
+    stats.active = active_count();
+    stats.reached = reached_count();
+    stats.total_transmissions = total_transmissions();
+    stats.round_transmissions = stats.total_transmissions - tx_before;
+    observer_->on_round(*this, stats);
+  }
+}
+
+SpreadResult Process::result() const {
+  SpreadResult result;
+  result.completed = completed();
+  result.rounds = round();
+  result.final_count = reached_count();
+  result.curve = curve_;
+  result.total_transmissions = total_transmissions();
+  result.peak_vertex_round_transmissions = peak_vertex_round_transmissions();
+  return result;
+}
+
+SpreadResult Process::run(Rng rng, std::span<const Vertex> starts) {
+  reset(rng, starts);
+  while (!done()) step();
+  return result();
+}
+
+}  // namespace cobra

@@ -8,6 +8,98 @@
 
 namespace cobra {
 
+BranchingWalkProcess::BranchingWalkProcess(const Graph& g,
+                                           BranchingWalkOptions options)
+    : graph_(&g),
+      options_(options),
+      counts_(g.num_vertices(), 0),
+      next_(g.num_vertices(), 0),
+      visited_(g.num_vertices(), 0) {
+  if (g.num_vertices() == 0) {
+    throw std::invalid_argument("branching walk requires a non-empty graph");
+  }
+  if (options_.k == 0) {
+    throw std::invalid_argument("branching walk needs k>=1");
+  }
+}
+
+void BranchingWalkProcess::do_reset(std::span<const Vertex> starts) {
+  if (starts.size() != 1) {
+    throw std::invalid_argument("branching walk is a single-start process");
+  }
+  const Vertex start = starts.front();
+  if (start >= graph_->num_vertices()) {
+    throw std::invalid_argument("branching walk start range");
+  }
+  // Particles occupy only vertices reached along edges, so a start-degree
+  // check is sufficient even on graphs with isolated vertices.
+  if (graph_->degree(start) == 0) {
+    throw std::invalid_argument("branching walk start must have degree >= 1");
+  }
+  std::fill(counts_.begin(), counts_.end(), std::uint64_t{0});
+  std::fill(visited_.begin(), visited_.end(), char{0});
+  counts_[start] = 1;
+  visited_[start] = 1;
+  visited_count_ = 1;
+  occupied_ = 1;
+  population_ = 1;
+  messages_ = 0;
+  round_ = 0;
+  saturated_ = false;
+}
+
+void BranchingWalkProcess::do_step(Rng& rng) {
+  const Graph& g = *graph_;
+  const std::size_t n = g.num_vertices();
+  std::fill(next_.begin(), next_.end(), std::uint64_t{0});
+  std::uint64_t moves = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    const std::uint64_t particles = counts_[v];
+    if (particles == 0) continue;
+    const std::size_t degree = g.degree(v);
+    // For small populations simulate each particle's k draws; for large
+    // ones (>= degree * 64) every neighbour is hit with overwhelming
+    // probability — split the population multinomially-approximate by
+    // even shares, which preserves totals and occupied support.
+    if (particles < static_cast<std::uint64_t>(degree) * 64) {
+      for (std::uint64_t p = 0; p < particles; ++p) {
+        for (unsigned i = 0; i < options_.k; ++i) {
+          const Vertex w = g.neighbor(
+              v, rng.next_below32(static_cast<std::uint32_t>(degree)));
+          next_[w] = std::min(options_.vertex_cap, next_[w] + 1);
+          ++moves;
+        }
+      }
+    } else {
+      const std::uint64_t out = particles * options_.k;
+      const std::uint64_t share = out / degree;
+      for (const Vertex w : g.neighbors(v)) {
+        next_[w] = std::min(options_.vertex_cap, next_[w] + share);
+      }
+      moves += out;
+      saturated_ = true;
+    }
+  }
+  std::uint64_t population = 0;
+  std::size_t occupied = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    counts_[v] = next_[v];
+    if (counts_[v] > 0) {
+      ++occupied;
+      if (!visited_[v]) {
+        visited_[v] = 1;
+        ++visited_count_;
+      }
+    }
+    population += counts_[v];
+    saturated_ |= (counts_[v] >= options_.vertex_cap);
+  }
+  messages_ += moves;
+  population_ = population;
+  occupied_ = occupied;
+  ++round_;
+}
+
 BranchingWalkResult run_branching_walk(const Graph& g, Vertex start,
                                        BranchingWalkOptions options,
                                        Rng& rng) {
@@ -16,8 +108,6 @@ BranchingWalkResult run_branching_walk(const Graph& g, Vertex start,
     throw std::invalid_argument("branching walk requires a non-empty graph");
   }
   if (start >= n) throw std::invalid_argument("branching walk start range");
-  // Particles occupy only vertices reached along edges, so a start-degree
-  // check is sufficient even on graphs with isolated vertices.
   if (g.degree(start) == 0) {
     throw std::invalid_argument("branching walk start must have degree >= 1");
   }
@@ -40,10 +130,6 @@ BranchingWalkResult run_branching_walk(const Graph& g, Vertex start,
       const std::uint64_t particles = counts[v];
       if (particles == 0) continue;
       const std::size_t degree = g.degree(v);
-      // For small populations simulate each particle's k draws; for large
-      // ones (>= degree * 64) every neighbour is hit with overwhelming
-      // probability — split the population multinomially-approximate by
-      // even shares, which preserves totals and occupied support.
       if (particles < static_cast<std::uint64_t>(degree) * 64) {
         for (std::uint64_t p = 0; p < particles; ++p) {
           for (unsigned i = 0; i < options.k; ++i) {

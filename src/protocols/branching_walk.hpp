@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/process.hpp"
 #include "core/process_common.hpp"
 #include "graph/graph.hpp"
 #include "rand/rng.hpp"
@@ -27,6 +28,60 @@ struct BranchingWalkOptions {
   /// capped vertex still floods its whole neighbourhood with draws, and
   /// message totals report a documented lower bound from then on).
   std::uint64_t vertex_cap = 1u << 20;
+  bool record_curve = true;
+};
+
+/// Steppable branching walk with a reusable workspace (particle-count,
+/// next-count, and visited arrays sized once, refilled on reset). The RNG
+/// stream matches the legacy run_branching_walk draw-for-draw, including
+/// the large-population multinomial-approximate split. The curve follows
+/// the uniform semantics (distinct visited per round); the particle
+/// population and saturation flag stay available via accessors.
+class BranchingWalkProcess final : public Process {
+ public:
+  explicit BranchingWalkProcess(const Graph& g,
+                                BranchingWalkOptions options = {});
+
+  bool done() const override {
+    return visited_count_ == graph_->num_vertices() ||
+           round_ >= options_.max_rounds;
+  }
+  std::size_t round() const override { return round_; }
+  std::size_t reached_count() const override { return visited_count_; }
+  /// Working set = vertices currently holding particles.
+  std::size_t active_count() const override { return occupied_; }
+  bool completed() const override {
+    return visited_count_ == graph_->num_vertices();
+  }
+  /// Particle moves == messages; a lower bound once saturated().
+  std::uint64_t total_transmissions() const override { return messages_; }
+  std::size_t round_limit() const override { return options_.max_rounds; }
+
+  /// Current particle population (capped).
+  std::uint64_t population() const noexcept { return population_; }
+  /// True if any vertex hit the cap (message totals are lower bounds).
+  bool saturated() const noexcept { return saturated_; }
+
+  const Graph& graph() const noexcept { return *graph_; }
+  const BranchingWalkOptions& options() const noexcept { return options_; }
+
+ protected:
+  void do_reset(std::span<const Vertex> starts) override;
+  void do_step(Rng& rng) override;
+  bool curve_enabled() const override { return options_.record_curve; }
+
+ private:
+  const Graph* graph_;
+  BranchingWalkOptions options_;
+  std::vector<std::uint64_t> counts_;
+  std::vector<std::uint64_t> next_;
+  std::vector<char> visited_;
+  std::size_t visited_count_ = 0;
+  std::size_t occupied_ = 0;
+  std::uint64_t population_ = 0;
+  std::uint64_t messages_ = 0;
+  std::size_t round_ = 0;
+  bool saturated_ = false;
 };
 
 struct BranchingWalkResult {
@@ -43,6 +98,8 @@ struct BranchingWalkResult {
 };
 
 /// Runs from a single particle at `start` until cover or max_rounds.
+/// Legacy one-shot entry point — the parity oracle for
+/// BranchingWalkProcess.
 BranchingWalkResult run_branching_walk(const Graph& g, Vertex start,
                                        BranchingWalkOptions options, Rng& rng);
 

@@ -7,6 +7,60 @@
 
 namespace cobra {
 
+FloodProcess::FloodProcess(const Graph& g, FloodOptions options)
+    : graph_(&g), options_(options), informed_(g.num_vertices(), 0) {
+  if (g.num_vertices() == 0) {
+    throw std::invalid_argument("FloodProcess requires a non-empty graph");
+  }
+  frontier_.reserve(g.num_vertices());
+  next_frontier_.reserve(g.num_vertices());
+}
+
+std::uint64_t FloodProcess::peak_vertex_round_transmissions() const {
+  return std::max<std::uint64_t>(peak_, graph_->max_degree());
+}
+
+void FloodProcess::do_reset(std::span<const Vertex> starts) {
+  if (starts.size() != 1) {
+    throw std::invalid_argument("flood is a single-start process");
+  }
+  const Vertex start = starts.front();
+  if (start >= graph_->num_vertices()) {
+    throw std::invalid_argument("flood start out of range");
+  }
+  std::fill(informed_.begin(), informed_.end(), char{0});
+  frontier_.clear();
+  next_frontier_.clear();
+  informed_[start] = 1;
+  frontier_.push_back(start);
+  informed_degree_sum_ = graph_->degree(start);
+  count_ = 1;
+  round_ = 0;
+  transmissions_ = 0;
+  peak_ = 0;
+}
+
+void FloodProcess::do_step(Rng&) {
+  const Graph& g = *graph_;
+  // Every informed vertex sends to all neighbours; only frontier sends
+  // can inform anyone new, but the message count charges everyone.
+  transmissions_ += informed_degree_sum_;
+  next_frontier_.clear();
+  for (const Vertex v : frontier_) {
+    peak_ = std::max(peak_, static_cast<std::uint64_t>(g.degree(v)));
+    for (const Vertex w : g.neighbors(v)) {
+      if (!informed_[w]) {
+        informed_[w] = 1;
+        next_frontier_.push_back(w);
+        informed_degree_sum_ += g.degree(w);
+        ++count_;
+      }
+    }
+  }
+  frontier_.swap(next_frontier_);
+  ++round_;
+}
+
 SpreadResult run_flood(const Graph& g, Vertex start, FloodOptions options) {
   const std::size_t n = g.num_vertices();
   if (n == 0) throw std::invalid_argument("run_flood requires a non-empty graph");
@@ -23,8 +77,6 @@ SpreadResult run_flood(const Graph& g, Vertex start, FloodOptions options) {
   std::size_t round = 0;
   std::uint64_t informed_degree_sum = g.degree(start);
   while (count < n && !frontier.empty() && round < options.max_rounds) {
-    // Every informed vertex sends to all neighbours; only frontier sends
-    // can inform anyone new, but the message count charges everyone.
     result.total_transmissions += informed_degree_sum;
     next_frontier.clear();
     for (const Vertex v : frontier) {

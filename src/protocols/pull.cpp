@@ -1,19 +1,73 @@
 // SPDX-License-Identifier: MIT
 #include "protocols/pull.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <vector>
 
 namespace cobra {
+
+PullProcess::PullProcess(const Graph& g, PullOptions options)
+    : graph_(&g), options_(options), informed_(g.num_vertices(), 0) {
+  if (g.num_vertices() == 0) {
+    throw std::invalid_argument("PullProcess requires a non-empty graph");
+  }
+}
+
+void PullProcess::do_reset(std::span<const Vertex> starts) {
+  if (starts.size() != 1) {
+    throw std::invalid_argument("pull is a single-start process");
+  }
+  const Vertex start = starts.front();
+  if (start >= graph_->num_vertices()) {
+    throw std::invalid_argument("pull start out of range");
+  }
+  // Isolated vertices can never pull anything; they are skipped below and
+  // only the start (whose draw seeds nothing but whose reachability
+  // matters) must have an edge.
+  if (graph_->degree(start) == 0) {
+    throw std::invalid_argument("pull start must have degree >= 1");
+  }
+  std::fill(informed_.begin(), informed_.end(), char{0});
+  informed_[start] = 1;
+  count_ = 1;
+  round_ = 0;
+  transmissions_ = 0;
+  peak_ = 0;
+}
+
+void PullProcess::do_step(Rng& rng) {
+  const Graph& g = *graph_;
+  const std::size_t n = g.num_vertices();
+  std::size_t contacts = 0;
+  std::size_t new_informed = 0;
+  // Synchronous: pulls read the start-of-round state; since informed
+  // vertices never revert, evaluating in place is equivalent.
+  for (Vertex v = 0; v < n; ++v) {
+    if (informed_[v]) continue;
+    const auto degree = static_cast<std::uint32_t>(g.degree(v));
+    if (degree == 0) continue;  // isolated: nothing to pull from
+    ++contacts;
+    const Vertex w = g.neighbor(v, rng.next_below32(degree));
+    if (informed_[w] == 1) {  // == 1: only start-of-round informed count
+      informed_[v] = 2;       // mark for activation after the sweep
+      ++new_informed;
+    }
+  }
+  for (Vertex v = 0; v < n; ++v) {
+    if (informed_[v] == 2) informed_[v] = 1;
+  }
+  count_ += new_informed;
+  transmissions_ += contacts;
+  peak_ = 1;
+  ++round_;
+}
 
 SpreadResult run_pull(const Graph& g, Vertex start, PullOptions options,
                       Rng& rng) {
   const std::size_t n = g.num_vertices();
   if (n == 0) throw std::invalid_argument("run_pull requires a non-empty graph");
   if (start >= n) throw std::invalid_argument("pull start out of range");
-  // Isolated vertices can never pull anything; they are skipped below and
-  // only the start (whose draw seeds nothing but whose reachability
-  // matters) must have an edge.
   if (g.degree(start) == 0) {
     throw std::invalid_argument("run_pull start must have degree >= 1");
   }
@@ -28,16 +82,14 @@ SpreadResult run_pull(const Graph& g, Vertex start, PullOptions options,
   while (count < n && round < options.max_rounds) {
     std::size_t contacts = 0;
     std::size_t new_informed = 0;
-    // Synchronous: pulls read the start-of-round state; since informed
-    // vertices never revert, evaluating in place is equivalent.
     for (Vertex v = 0; v < n; ++v) {
       if (informed[v]) continue;
       const auto degree = static_cast<std::uint32_t>(g.degree(v));
-      if (degree == 0) continue;  // isolated: nothing to pull from
+      if (degree == 0) continue;
       ++contacts;
       const Vertex w = g.neighbor(v, rng.next_below32(degree));
-      if (informed[w] == 1) {  // == 1: only start-of-round informed count
-        informed[v] = 2;       // mark for activation after the sweep
+      if (informed[w] == 1) {
+        informed[v] = 2;
         ++new_informed;
       }
     }

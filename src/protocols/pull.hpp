@@ -8,6 +8,7 @@
 // experiment E12.
 #pragma once
 
+#include "core/process.hpp"
 #include "core/process_common.hpp"
 #include "graph/graph.hpp"
 #include "rand/rng.hpp"
@@ -16,8 +17,52 @@ namespace cobra {
 
 struct PullOptions {
   std::size_t max_rounds = 1u << 20;
+  bool record_curve = true;
 };
 
+/// Steppable pull with a reusable workspace (see PushProcess). The RNG
+/// stream is draw-for-draw identical to the legacy run_pull (uninformed
+/// vertices contact in ascending order).
+class PullProcess final : public Process {
+ public:
+  explicit PullProcess(const Graph& g, PullOptions options = {});
+
+  bool done() const override {
+    return count_ == graph_->num_vertices() || round_ >= options_.max_rounds;
+  }
+  std::size_t round() const override { return round_; }
+  std::size_t reached_count() const override { return count_; }
+  /// Working set = the uninformed contactors of the next round (upper
+  /// bound: includes isolated vertices, which contact no one).
+  std::size_t active_count() const override {
+    return graph_->num_vertices() - count_;
+  }
+  bool completed() const override { return count_ == graph_->num_vertices(); }
+  std::uint64_t total_transmissions() const override { return transmissions_; }
+  std::uint64_t peak_vertex_round_transmissions() const override {
+    return peak_;
+  }
+  std::size_t round_limit() const override { return options_.max_rounds; }
+
+  const Graph& graph() const noexcept { return *graph_; }
+  const PullOptions& options() const noexcept { return options_; }
+
+ protected:
+  void do_reset(std::span<const Vertex> starts) override;
+  void do_step(Rng& rng) override;
+  bool curve_enabled() const override { return options_.record_curve; }
+
+ private:
+  const Graph* graph_;
+  PullOptions options_;
+  std::vector<char> informed_;
+  std::size_t count_ = 0;
+  std::size_t round_ = 0;
+  std::uint64_t transmissions_ = 0;
+  std::uint64_t peak_ = 0;
+};
+
+/// Legacy one-shot entry point — the parity oracle for PullProcess.
 SpreadResult run_pull(const Graph& g, Vertex start, PullOptions options,
                       Rng& rng);
 

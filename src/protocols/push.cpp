@@ -1,19 +1,67 @@
 // SPDX-License-Identifier: MIT
 #include "protocols/push.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <vector>
 
 namespace cobra {
+
+PushProcess::PushProcess(const Graph& g, PushOptions options)
+    : graph_(&g),
+      options_(options),
+      informed_(g.num_vertices(), 0) {
+  if (g.num_vertices() == 0) {
+    throw std::invalid_argument("PushProcess requires a non-empty graph");
+  }
+  informed_list_.reserve(g.num_vertices());
+}
+
+void PushProcess::do_reset(std::span<const Vertex> starts) {
+  if (starts.size() != 1) {
+    throw std::invalid_argument("push is a single-start process");
+  }
+  const Vertex start = starts.front();
+  if (start >= graph_->num_vertices()) {
+    throw std::invalid_argument("push start out of range");
+  }
+  // Only the start needs an edge: every later sender was informed across
+  // an edge, so its degree is >= 1. Isolated vertices elsewhere simply
+  // stay uninformed (the trial reports completed = false).
+  if (graph_->degree(start) == 0) {
+    throw std::invalid_argument("push start must have degree >= 1");
+  }
+  std::fill(informed_.begin(), informed_.end(), char{0});
+  informed_list_.clear();
+  informed_[start] = 1;
+  informed_list_.push_back(start);
+  round_ = 0;
+  transmissions_ = 0;
+  peak_ = 0;
+}
+
+void PushProcess::do_step(Rng& rng) {
+  const Graph& g = *graph_;
+  const std::size_t senders = informed_list_.size();
+  for (std::size_t i = 0; i < senders; ++i) {
+    const Vertex v = informed_list_[i];
+    const Vertex w = g.neighbor(
+        v, rng.next_below32(static_cast<std::uint32_t>(g.degree(v))));
+    if (!informed_[w]) {
+      informed_[w] = 1;
+      informed_list_.push_back(w);
+    }
+  }
+  transmissions_ += senders;
+  peak_ = 1;
+  ++round_;
+}
 
 SpreadResult run_push(const Graph& g, Vertex start, PushOptions options,
                       Rng& rng) {
   const std::size_t n = g.num_vertices();
   if (n == 0) throw std::invalid_argument("run_push requires a non-empty graph");
   if (start >= n) throw std::invalid_argument("push start out of range");
-  // Only the start needs an edge: every later sender was informed across
-  // an edge, so its degree is >= 1. Isolated vertices elsewhere simply
-  // stay uninformed (the trial reports completed = false).
   if (g.degree(start) == 0) {
     throw std::invalid_argument("run_push start must have degree >= 1");
   }

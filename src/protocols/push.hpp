@@ -8,6 +8,7 @@
 // senders. Experiment E12 quantifies the message-budget difference.
 #pragma once
 
+#include "core/process.hpp"
 #include "core/process_common.hpp"
 #include "graph/graph.hpp"
 #include "rand/rng.hpp"
@@ -16,10 +17,57 @@ namespace cobra {
 
 struct PushOptions {
   std::size_t max_rounds = 1u << 20;
+  bool record_curve = true;
 };
 
-/// Runs push until all informed (or max_rounds). curve[t] = informed count
-/// at end of round t; transmissions per round = current informed count.
+/// Steppable push with a reusable workspace: the informed bitmap and list
+/// are sized once at construction and refilled on reset, so trial loops
+/// pay zero allocations after the first trial. Single-start; the RNG
+/// stream is draw-for-draw identical to the legacy run_push (senders are
+/// processed in the order they were informed).
+class PushProcess final : public Process {
+ public:
+  /// Requires a non-empty graph; reset() validates the start.
+  explicit PushProcess(const Graph& g, PushOptions options = {});
+
+  bool done() const override {
+    return informed_list_.size() == graph_->num_vertices() ||
+           round_ >= options_.max_rounds;
+  }
+  std::size_t round() const override { return round_; }
+  std::size_t reached_count() const override { return informed_list_.size(); }
+  /// Working set = the informed senders of the next round.
+  std::size_t active_count() const override { return informed_list_.size(); }
+  bool completed() const override {
+    return informed_list_.size() == graph_->num_vertices();
+  }
+  std::uint64_t total_transmissions() const override { return transmissions_; }
+  std::uint64_t peak_vertex_round_transmissions() const override {
+    return peak_;  // 1 after any round: every sender sends exactly once
+  }
+  std::size_t round_limit() const override { return options_.max_rounds; }
+
+  const Graph& graph() const noexcept { return *graph_; }
+  const PushOptions& options() const noexcept { return options_; }
+
+ protected:
+  void do_reset(std::span<const Vertex> starts) override;
+  void do_step(Rng& rng) override;
+  bool curve_enabled() const override { return options_.record_curve; }
+
+ private:
+  const Graph* graph_;
+  PushOptions options_;
+  std::vector<char> informed_;
+  std::vector<Vertex> informed_list_;
+  std::size_t round_ = 0;
+  std::uint64_t transmissions_ = 0;
+  std::uint64_t peak_ = 0;
+};
+
+/// Legacy one-shot entry point (allocates per call). Kept verbatim as the
+/// parity oracle for PushProcess (tests/process_test.cpp); prefer the
+/// factory + PushProcess for anything hot.
 SpreadResult run_push(const Graph& g, Vertex start, PushOptions options,
                       Rng& rng);
 

@@ -1,10 +1,74 @@
 // SPDX-License-Identifier: MIT
 #include "protocols/push_pull.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <vector>
 
 namespace cobra {
+
+PushPullProcess::PushPullProcess(const Graph& g, PushPullOptions options)
+    : graph_(&g),
+      options_(options),
+      informed_(g.num_vertices(), 0),
+      next_(g.num_vertices(), 0) {
+  if (g.num_vertices() == 0) {
+    throw std::invalid_argument("PushPullProcess requires a non-empty graph");
+  }
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    contactors_ += (g.degree(v) > 0);
+  }
+}
+
+void PushPullProcess::do_reset(std::span<const Vertex> starts) {
+  if (starts.size() != 1) {
+    throw std::invalid_argument("push-pull is a single-start process");
+  }
+  const Vertex start = starts.front();
+  if (start >= graph_->num_vertices()) {
+    throw std::invalid_argument("push_pull start out of range");
+  }
+  // Isolated vertices make no contacts (skipped below); only the start
+  // must have an edge.
+  if (graph_->degree(start) == 0) {
+    throw std::invalid_argument("push_pull start must have degree >= 1");
+  }
+  std::fill(informed_.begin(), informed_.end(), char{0});
+  std::fill(next_.begin(), next_.end(), char{0});
+  informed_[start] = 1;
+  next_[start] = 1;
+  count_ = 1;
+  round_ = 0;
+  transmissions_ = 0;
+  peak_ = 0;
+}
+
+void PushPullProcess::do_step(Rng& rng) {
+  const Graph& g = *graph_;
+  const std::size_t n = g.num_vertices();
+  // Synchronous semantics: all contacts are evaluated against the state
+  // at the start of the round.
+  std::size_t contacts = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    const auto degree = static_cast<std::uint32_t>(g.degree(v));
+    if (degree == 0) continue;  // isolated: no one to contact
+    ++contacts;
+    const Vertex w = g.neighbor(v, rng.next_below32(degree));
+    if (informed_[v]) {
+      next_[w] = 1;  // push
+    } else if (informed_[w]) {
+      next_[v] = 1;  // pull
+    }
+  }
+  count_ = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    informed_[v] = next_[v];
+    count_ += static_cast<std::size_t>(next_[v]);
+  }
+  transmissions_ += contacts;
+  peak_ = 1;
+  ++round_;
+}
 
 SpreadResult run_push_pull(const Graph& g, Vertex start,
                            PushPullOptions options, Rng& rng) {
@@ -13,8 +77,6 @@ SpreadResult run_push_pull(const Graph& g, Vertex start,
     throw std::invalid_argument("run_push_pull requires a non-empty graph");
   }
   if (start >= n) throw std::invalid_argument("push_pull start out of range");
-  // Isolated vertices make no contacts (skipped below); only the start
-  // must have an edge.
   if (g.degree(start) == 0) {
     throw std::invalid_argument("run_push_pull start must have degree >= 1");
   }
@@ -29,12 +91,10 @@ SpreadResult run_push_pull(const Graph& g, Vertex start,
   result.curve.push_back(count);
   std::size_t round = 0;
   while (count < n && round < options.max_rounds) {
-    // Synchronous semantics: all contacts are evaluated against the state
-    // at the start of the round.
     std::size_t contacts = 0;
     for (Vertex v = 0; v < n; ++v) {
       const auto degree = static_cast<std::uint32_t>(g.degree(v));
-      if (degree == 0) continue;  // isolated: no one to contact
+      if (degree == 0) continue;
       ++contacts;
       const Vertex w = g.neighbor(v, rng.next_below32(degree));
       if (informed[v]) {

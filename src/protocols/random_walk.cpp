@@ -1,6 +1,7 @@
 // SPDX-License-Identifier: MIT
 #include "protocols/random_walk.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace cobra {
@@ -32,10 +33,59 @@ Vertex RandomWalk::step(Rng& rng) {
   return position_;
 }
 
+WalkProcess::WalkProcess(const Graph& g, RandomWalkOptions options)
+    : graph_(&g), options_(options), first_visit_(g.num_vertices(), kRoundNever) {
+  if (g.num_vertices() == 0) {
+    throw std::invalid_argument("WalkProcess requires a non-empty graph");
+  }
+}
+
+std::size_t WalkProcess::curve_size_hint() const {
+  // One curve entry per distinct visit: bounded by n, not by the budget.
+  return std::min(graph_->num_vertices(), kCurveReserveCap);
+}
+
+void WalkProcess::append_curve_point() {
+  // Visit-event sampling: one entry (the step index) per distinct visit.
+  // A step visits at most one new vertex, so catching up is a single push.
+  if (mutable_curve().size() < visited_count_) {
+    mutable_curve().push_back(steps_);
+  }
+}
+
+void WalkProcess::do_reset(std::span<const Vertex> starts) {
+  if (starts.size() != 1) {
+    throw std::invalid_argument("walk is a single-start process");
+  }
+  const Vertex start = starts.front();
+  if (start >= graph_->num_vertices()) {
+    throw std::invalid_argument("walk start out of range");
+  }
+  if (graph_->degree(start) == 0) {
+    throw std::invalid_argument("walk start must have degree >= 1");
+  }
+  std::fill(first_visit_.begin(), first_visit_.end(), kRoundNever);
+  first_visit_[start] = 0;
+  position_ = start;
+  steps_ = 0;
+  visited_count_ = 1;
+}
+
+void WalkProcess::do_step(Rng& rng) {
+  const auto degree = static_cast<std::uint32_t>(graph_->degree(position_));
+  position_ = graph_->neighbor(position_, rng.next_below32(degree));
+  ++steps_;
+  if (first_visit_[position_] == kRoundNever) {
+    first_visit_[position_] = static_cast<Round>(steps_);
+    ++visited_count_;
+  }
+}
+
 SpreadResult run_walk_cover(const Graph& g, Vertex start,
                             RandomWalkOptions options, Rng& rng) {
   RandomWalk walk(g, start);
   SpreadResult result;
+  result.curve.reserve(std::min<std::size_t>(g.num_vertices(), 1u << 16));
   result.curve.push_back(0);  // first distinct visit (the start) at step 0
   while (!walk.covered() && walk.steps() < options.max_steps) {
     const std::size_t before = walk.visited_count();

@@ -9,6 +9,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/process.hpp"
 #include "core/process_common.hpp"
 #include "graph/graph.hpp"
 #include "rand/rng.hpp"
@@ -46,11 +47,58 @@ class RandomWalk {
 
 struct RandomWalkOptions {
   std::size_t max_steps = 1u << 28;
+  bool record_curve = true;
+};
+
+/// Steppable cover walk with a reusable workspace: the first-visit array
+/// is sized once and epoch-refilled on reset. One Process round == one
+/// walk step, and the RNG stream matches the legacy run_walk_cover
+/// draw-for-draw. The curve keeps the legacy visit-event semantics:
+/// curve[i] = step of the i-th distinct visit (bounded by n entries, not
+/// by the 2^28-step budget).
+class WalkProcess final : public Process {
+ public:
+  explicit WalkProcess(const Graph& g, RandomWalkOptions options = {});
+
+  bool done() const override {
+    return visited_count_ == graph_->num_vertices() ||
+           steps_ >= options_.max_steps;
+  }
+  std::size_t round() const override { return steps_; }
+  std::size_t reached_count() const override { return visited_count_; }
+  /// Working set = the single token.
+  std::size_t active_count() const override { return 1; }
+  bool completed() const override {
+    return visited_count_ == graph_->num_vertices();
+  }
+  std::uint64_t total_transmissions() const override { return steps_; }
+  std::uint64_t peak_vertex_round_transmissions() const override { return 1; }
+  std::size_t round_limit() const override { return options_.max_steps; }
+
+  Vertex position() const noexcept { return position_; }
+  const Graph& graph() const noexcept { return *graph_; }
+  const RandomWalkOptions& options() const noexcept { return options_; }
+
+ protected:
+  void do_reset(std::span<const Vertex> starts) override;
+  void do_step(Rng& rng) override;
+  bool curve_enabled() const override { return options_.record_curve; }
+  std::size_t curve_size_hint() const override;
+  void append_curve_point() override;
+
+ private:
+  const Graph* graph_;
+  RandomWalkOptions options_;
+  std::vector<Round> first_visit_;
+  Vertex position_ = 0;
+  std::size_t steps_ = 0;
+  std::size_t visited_count_ = 0;
 };
 
 /// Walks until every vertex is visited (or max_steps); SpreadResult.rounds
 /// is the cover time in *steps*. curve is sampled only at visit events to
 /// keep memory bounded: curve[i] = step of the i-th distinct visit.
+/// Legacy one-shot entry point — the parity oracle for WalkProcess.
 SpreadResult run_walk_cover(const Graph& g, Vertex start,
                             RandomWalkOptions options, Rng& rng);
 

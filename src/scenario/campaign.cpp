@@ -106,7 +106,8 @@ Summary summary_from(const OnlineStats& stream, std::vector<double>& values) {
 
 JobResult execute_job(const CampaignPlan& plan, const JobSpec& job,
                       const Graph& g) {
-  const auto process = make_process(g, job.process);
+  // Qualified: the enclosing cobra:: namespace has the factory overload.
+  const auto process = scenario::make_process(g, job.process);
   const auto starts = spreadable_starts(g);
   const std::uint64_t job_seed = mix64(plan.base_seed, job.index);
   JobResult result;
@@ -119,9 +120,8 @@ JobResult execute_job(const CampaignPlan& plan, const JobSpec& job,
   rounds_values.reserve(plan.trials);
   tx_values.reserve(plan.trials);
   for (std::size_t t = 0; t < plan.trials; ++t) {
-    Rng rng = Rng::for_trial(job_seed, t);
-    const SpreadResult trial =
-        process->run(starts[t % starts.size()], rng);
+    const SpreadResult trial = process->run(Rng::for_trial(job_seed, t),
+                                            starts[t % starts.size()]);
     if (!trial.completed) {
       ++result.failed;
       continue;

@@ -3,19 +3,10 @@
 
 #include <algorithm>
 #include <fstream>
-#include <functional>
 
-#include "core/bips.hpp"
-#include "core/cobra.hpp"
-#include "core/sis.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
-#include "protocols/branching_walk.hpp"
-#include "protocols/flood.hpp"
-#include "protocols/pull.hpp"
-#include "protocols/push.hpp"
-#include "protocols/push_pull.hpp"
-#include "protocols/random_walk.hpp"
+#include "util/param_reader.hpp"
 
 namespace cobra::scenario {
 
@@ -41,117 +32,10 @@ std::string canonical_params(const ParamMap& params) {
 
 namespace {
 
-/// Tracks which keys a factory consumed so leftovers fail loudly.
-class ParamReader {
- public:
-  ParamReader(const ParamMap& params, std::string context)
-      : params_(params), context_(std::move(context)),
-        touched_(params.size(), false) {}
-
-  bool has(std::string_view key) {
-    return lookup(key) != nullptr;
-  }
-
-  std::string get(std::string_view key, std::string_view fallback) {
-    const std::string* v = lookup(key);
-    return v != nullptr ? *v : std::string(fallback);
-  }
-
-  std::string require(std::string_view key) {
-    const std::string* v = lookup(key);
-    if (v == nullptr) {
-      throw SpecError(context_ + ": missing required parameter '" +
-                      std::string(key) + "'");
-    }
-    return *v;
-  }
-
-  std::int64_t get_int(std::string_view key, std::int64_t fallback) {
-    const std::string* v = lookup(key);
-    return v == nullptr ? fallback : to_int(key, *v);
-  }
-
-  std::int64_t require_int(std::string_view key) {
-    return to_int(key, require(key));
-  }
-
-  std::size_t require_size(std::string_view key) {
-    const std::int64_t v = require_int(key);
-    if (v < 0) {
-      throw SpecError(context_ + ": parameter '" + std::string(key) +
-                      "' must be non-negative");
-    }
-    return static_cast<std::size_t>(v);
-  }
-
-  double get_double(std::string_view key, double fallback) {
-    const std::string* v = lookup(key);
-    return v == nullptr ? fallback : to_double(key, *v);
-  }
-
-  double require_double(std::string_view key) {
-    return to_double(key, require(key));
-  }
-
-  /// 'x'-separated positive integers, e.g. dims = 32x32, offsets = 1x2x5.
-  std::vector<std::size_t> require_size_list(std::string_view key) {
-    const std::string text = require(key);
-    std::vector<std::size_t> out;
-    std::size_t begin = 0;
-    while (begin <= text.size()) {
-      const std::size_t sep = text.find('x', begin);
-      const std::size_t end = sep == std::string::npos ? text.size() : sep;
-      out.push_back(static_cast<std::size_t>(
-          to_int(key, text.substr(begin, end - begin))));
-      if (sep == std::string::npos) break;
-      begin = sep + 1;
-    }
-    return out;
-  }
-
-  /// Throws if any parameter was never consumed (typo protection).
-  void finish() const {
-    for (std::size_t i = 0; i < params_.size(); ++i) {
-      if (!touched_[i]) {
-        throw SpecError(context_ + ": unknown parameter '" +
-                        params_[i].first + "'");
-      }
-    }
-  }
-
- private:
-  const std::string* lookup(std::string_view key) {
-    for (std::size_t i = 0; i < params_.size(); ++i) {
-      if (params_[i].first == key) {
-        touched_[i] = true;
-        return &params_[i].second;
-      }
-    }
-    return nullptr;
-  }
-
-  std::int64_t to_int(std::string_view key, const std::string& text) const {
-    std::int64_t value = 0;
-    if (!parse_spec_int(text, value)) {
-      throw SpecError(context_ + ": parameter '" + std::string(key) +
-                      "' expects an integer, got '" + text + "'");
-    }
-    return value;
-  }
-
-  double to_double(std::string_view key, const std::string& text) const {
-    double value = 0.0;
-    if (!parse_spec_double(text, value)) {
-      throw SpecError(context_ + ": parameter '" + std::string(key) +
-                      "' expects a number, got '" + text + "'");
-    }
-    return value;
-  }
-
-  const ParamMap& params_;
-  std::string context_;
-  std::vector<bool> touched_;
-};
+/// Graph-family parameter reader reporting SpecError (shared machinery in
+/// util/param_reader.hpp; the process factory uses the same reader with
+/// its own error type).
+using ParamReader = ::cobra::ParamReader<SpecError>;
 
 std::vector<std::uint32_t> to_u32(const std::vector<std::size_t>& values) {
   std::vector<std::uint32_t> out;
@@ -310,156 +194,6 @@ const GraphFamily* find_family(std::string_view name) {
   return nullptr;
 }
 
-// ---- process adapters ----
-
-/// Parses the shared branching spec: integer `k`, or fractional `rho`
-/// (expected factor 1 + rho); giving both is an error.
-Branching read_branching(ParamReader& p) {
-  const bool has_rho = p.has("rho");
-  const bool has_k = p.has("k");
-  if (has_rho && has_k) {
-    throw SpecError("process: give either 'k' (integer branching) or 'rho' "
-                    "(fractional), not both");
-  }
-  if (has_rho) {
-    const double rho = p.require_double("rho");
-    if (rho < 0.0) {
-      throw SpecError("process: 'rho' must be >= 0");
-    }
-    return Branching::fractional(rho);
-  }
-  const std::int64_t k = p.get_int("k", 2);
-  if (k < 1) {
-    throw SpecError("process: 'k' must be >= 1");
-  }
-  return Branching::fixed(static_cast<unsigned>(k));
-}
-
-/// First vertex with an edge — the workspace-construction start (trial
-/// starts are rotated by the campaign runner and revalidated on reset).
-Vertex first_spreadable(const Graph& g) {
-  for (Vertex v = 0; v < g.num_vertices(); ++v) {
-    if (g.degree(v) > 0) return v;
-  }
-  throw SpecError("graph '" + g.name() + "' has no edges");
-}
-
-class CobraScenario final : public ScenarioProcess {
- public:
-  CobraScenario(const Graph& g, const CobraOptions& options)
-      : process_(g, first_spreadable(g), options) {}
-  SpreadResult run(Vertex start, Rng& rng) override {
-    return run_cobra_cover(process_, start, rng);
-  }
-
- private:
-  CobraProcess process_;
-};
-
-/// BIPS/SIS make every susceptible vertex sample its neighbourhood each
-/// round, so — unlike COBRA and the walk-style protocols — isolated
-/// vertices anywhere are a hard error; say so with scenario context.
-void require_all_degrees(const Graph& g, const char* process_name) {
-  if (g.num_vertices() > 0 && g.min_degree() == 0) {
-    throw SpecError(std::string("process '") + process_name + "': graph '" +
-                    g.name() +
-                    "' has isolated vertices, but every vertex samples "
-                    "neighbours each round (min degree >= 1 required)");
-  }
-}
-
-class BipsScenario final : public ScenarioProcess {
- public:
-  BipsScenario(const Graph& g, const BipsOptions& options)
-      : process_(g, first_spreadable(g), options) {}
-  SpreadResult run(Vertex start, Rng& rng) override {
-    return run_bips_infection(process_, start, rng);
-  }
-
- private:
-  BipsProcess process_;
-};
-
-/// Wraps the function-style baselines (push/pull/push-pull/flood/walk).
-class FunctionScenario final : public ScenarioProcess {
- public:
-  using Fn = std::function<SpreadResult(const Graph&, Vertex, Rng&)>;
-  FunctionScenario(const Graph& g, Fn fn) : graph_(&g), fn_(std::move(fn)) {}
-  SpreadResult run(Vertex start, Rng& rng) override {
-    return fn_(*graph_, start, rng);
-  }
-
- private:
-  const Graph* graph_;
-  Fn fn_;
-};
-
-class BranchingWalkScenario final : public ScenarioProcess {
- public:
-  BranchingWalkScenario(const Graph& g, const BranchingWalkOptions& options)
-      : graph_(&g), options_(options) {}
-  SpreadResult run(Vertex start, Rng& rng) override {
-    const BranchingWalkResult r =
-        run_branching_walk(*graph_, start, options_, rng);
-    SpreadResult out;
-    out.completed = r.covered;
-    out.rounds = r.rounds;
-    out.final_count = r.final_visited;
-    out.total_transmissions = r.total_messages;
-    return out;
-  }
-
- private:
-  const Graph* graph_;
-  BranchingWalkOptions options_;
-};
-
-class SisScenario final : public ScenarioProcess {
- public:
-  SisScenario(const Graph& g, const SisOptions& options)
-      : graph_(&g), options_(options) {}
-  SpreadResult run(Vertex start, Rng& rng) override {
-    const SisResult r = run_sis(*graph_, start, options_, rng);
-    SpreadResult out;
-    // "Completion" for the source-free epidemic means full infection; both
-    // extinction and timeout count as failures in campaign aggregates.
-    out.completed = r.outcome == SisOutcome::kFullInfection;
-    out.rounds = r.rounds;
-    out.final_count = r.final_count;
-    out.curve = r.curve;
-    return out;
-  }
-
- private:
-  const Graph* graph_;
-  SisOptions options_;
-};
-
-struct ProcessInfo {
-  const char* name;
-  /// Accepted parameter keys, null-padded ("name" itself is implied).
-  const char* keys[4];
-};
-
-const ProcessInfo kProcesses[] = {
-    {"bips", {"k", "rho", "max_rounds"}},
-    {"branching-walk", {"k", "max_rounds", "vertex_cap"}},
-    {"cobra", {"k", "rho", "max_rounds"}},
-    {"flood", {"max_rounds"}},
-    {"pull", {"max_rounds"}},
-    {"push", {"max_rounds"}},
-    {"push-pull", {"max_rounds"}},
-    {"sis", {"k", "rho", "max_rounds"}},
-    {"walk", {"max_rounds"}},
-};
-
-const ProcessInfo* find_process(std::string_view name) {
-  for (const auto& process : kProcesses) {
-    if (name == process.name) return &process;
-  }
-  return nullptr;
-}
-
 bool key_listed(const char* const (&keys)[4], std::string_view key) {
   for (const char* candidate : keys) {
     if (candidate == nullptr) break;
@@ -502,104 +236,36 @@ bool graph_family_has_param(std::string_view family, std::string_view key) {
   return entry != nullptr && key_listed(entry->keys, key);
 }
 
+std::vector<std::string> graph_family_param_keys(std::string_view family) {
+  std::vector<std::string> keys;
+  const GraphFamily* entry = find_family(family);
+  if (entry == nullptr) return keys;
+  for (const char* key : entry->keys) {
+    if (key == nullptr) break;
+    keys.emplace_back(key);
+  }
+  return keys;
+}
+
 std::vector<std::string> process_names() {
-  std::vector<std::string> names;
-  for (const auto& process : kProcesses) names.emplace_back(process.name);
-  return names;
+  return ::cobra::process_names();
 }
 
 bool is_process_name(std::string_view name) {
-  return find_process(name) != nullptr;
+  return ::cobra::is_process_name(name);
 }
 
 bool process_has_param(std::string_view name, std::string_view key) {
-  const ProcessInfo* entry = find_process(name);
-  return entry != nullptr && key_listed(entry->keys, key);
+  return ::cobra::process_has_param(name, key);
 }
 
-std::unique_ptr<ScenarioProcess> make_process(const Graph& g,
-                                              const ParamMap& params) {
-  const std::string* name = find_param(params, "name");
-  if (name == nullptr) {
-    throw SpecError("process: missing required parameter 'name'");
+std::unique_ptr<Process> make_process(const Graph& g, const ParamMap& params) {
+  try {
+    return ::cobra::make_process(g, params);
+  } catch (const ProcessFactoryError& e) {
+    // Same diagnostics, one error type for the campaign planner.
+    throw SpecError(e.what());
   }
-  ParamReader reader(params, "process '" + *name + "'");
-  reader.require("name");  // consumed by dispatch
-  std::unique_ptr<ScenarioProcess> process;
-  if (*name == "cobra") {
-    CobraOptions options;
-    options.branching = read_branching(reader);
-    options.max_rounds =
-        static_cast<std::size_t>(reader.get_int("max_rounds", 1 << 20));
-    process = std::make_unique<CobraScenario>(g, options);
-  } else if (*name == "bips") {
-    require_all_degrees(g, "bips");
-    BipsOptions options;
-    options.branching = read_branching(reader);
-    options.max_rounds =
-        static_cast<std::size_t>(reader.get_int("max_rounds", 1 << 20));
-    process = std::make_unique<BipsScenario>(g, options);
-  } else if (*name == "sis") {
-    require_all_degrees(g, "sis");
-    SisOptions options;
-    options.branching = read_branching(reader);
-    options.max_rounds =
-        static_cast<std::size_t>(reader.get_int("max_rounds", 1 << 16));
-    process = std::make_unique<SisScenario>(g, options);
-  } else if (*name == "branching-walk") {
-    BranchingWalkOptions options;
-    options.k = static_cast<unsigned>(reader.get_int("k", 2));
-    options.max_rounds =
-        static_cast<std::size_t>(reader.get_int("max_rounds", 64));
-    options.vertex_cap =
-        static_cast<std::uint64_t>(reader.get_int("vertex_cap", 1 << 20));
-    process = std::make_unique<BranchingWalkScenario>(g, options);
-  } else if (*name == "walk") {
-    RandomWalkOptions options;
-    options.max_steps = static_cast<std::size_t>(
-        reader.get_int("max_rounds", std::size_t{1} << 28));
-    process = std::make_unique<FunctionScenario>(
-        g, [options](const Graph& graph, Vertex start, Rng& rng) {
-          return run_walk_cover(graph, start, options, rng);
-        });
-  } else if (*name == "push") {
-    PushOptions options;
-    options.max_rounds =
-        static_cast<std::size_t>(reader.get_int("max_rounds", 1 << 20));
-    process = std::make_unique<FunctionScenario>(
-        g, [options](const Graph& graph, Vertex start, Rng& rng) {
-          return run_push(graph, start, options, rng);
-        });
-  } else if (*name == "pull") {
-    PullOptions options;
-    options.max_rounds =
-        static_cast<std::size_t>(reader.get_int("max_rounds", 1 << 20));
-    process = std::make_unique<FunctionScenario>(
-        g, [options](const Graph& graph, Vertex start, Rng& rng) {
-          return run_pull(graph, start, options, rng);
-        });
-  } else if (*name == "push-pull") {
-    PushPullOptions options;
-    options.max_rounds =
-        static_cast<std::size_t>(reader.get_int("max_rounds", 1 << 20));
-    process = std::make_unique<FunctionScenario>(
-        g, [options](const Graph& graph, Vertex start, Rng& rng) {
-          return run_push_pull(graph, start, options, rng);
-        });
-  } else if (*name == "flood") {
-    FloodOptions options;
-    options.max_rounds =
-        static_cast<std::size_t>(reader.get_int("max_rounds", 1 << 20));
-    process = std::make_unique<FunctionScenario>(
-        g, [options](const Graph& graph, Vertex start, Rng&) {
-          return run_flood(graph, start, options);
-        });
-  } else {
-    throw SpecError("process: unknown name '" + *name +
-                    "' (see scenario_runner --list)");
-  }
-  reader.finish();
-  return process;
 }
 
 }  // namespace cobra::scenario

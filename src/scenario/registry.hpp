@@ -1,11 +1,11 @@
 // SPDX-License-Identifier: MIT
 //
-// Scenario registries: string-keyed factories mapping a resolved parameter
-// map to (a) a graph instance covering every family in
-// src/graph/generators*.cpp plus external edge-list files, and (b) a
-// spreading process adapted to the common ScenarioProcess interface
-// (COBRA integer-k / fractional, BIPS, push, pull, push-pull, flood,
-// random walk, branching walk, SIS).
+// Scenario registries: the graph-family factory (every family in
+// src/graph/generators*.cpp plus external edge-list files) and the
+// SpecError-translating veneer over the unified process factory
+// (core/process_factory.hpp) — the process table itself lives with the
+// processes, so the scenario engine, trial runner, and benches all read
+// the same registry.
 //
 // Parameters arrive as strings straight from the spec; each factory
 // validates its own keys and rejects unknown ones loudly (SpecError), so a
@@ -19,7 +19,9 @@
 #include <utility>
 #include <vector>
 
+#include "core/process.hpp"
 #include "core/process_common.hpp"
+#include "core/process_factory.hpp"
 #include "graph/graph.hpp"
 #include "rand/rng.hpp"
 #include "scenario/spec.hpp"
@@ -27,8 +29,9 @@
 namespace cobra::scenario {
 
 /// Resolved scalar parameters in declaration order (order matters for
-/// sweep-axis nesting; lookups are by key).
-using ParamMap = std::vector<std::pair<std::string, std::string>>;
+/// sweep-axis nesting; lookups are by key). Same shape the process
+/// factory consumes.
+using ParamMap = ProcessParams;
 
 /// Value of `key`, or nullptr.
 const std::string* find_param(const ParamMap& params, std::string_view key);
@@ -48,24 +51,21 @@ bool is_graph_family(std::string_view name);
 /// letting them surface as sweep axes that error mid-run.
 bool graph_family_has_param(std::string_view family, std::string_view key);
 
+/// Accepted parameter keys of `family`, in declaration order (empty for
+/// an unknown family) — scenario_runner --list prints these.
+std::vector<std::string> graph_family_param_keys(std::string_view family);
+
 /// Builds the family named params["family"]; `rng` drives the random
 /// families (deterministic families ignore it). Throws SpecError on an
 /// unknown family, missing/malformed parameters, or unknown keys.
 Graph build_graph(const ParamMap& params, Rng& rng);
 
 // ---- processes ----
-
-/// A spreading process bound to one graph. Implementations may keep
-/// per-instance workspaces (COBRA/BIPS reuse one process across trials),
-/// so a ScenarioProcess must be driven by a single thread.
-class ScenarioProcess {
- public:
-  virtual ~ScenarioProcess() = default;
-
-  /// One trial from `start`; every result field is a pure function of
-  /// (graph, params, start, rng state).
-  virtual SpreadResult run(Vertex start, Rng& rng) = 0;
-};
+//
+// Thin veneer over the unified factory: identical semantics, but every
+// failure surfaces as SpecError so campaign planning reports one error
+// type. The returned processes are single-thread workspaces; drive one
+// trial as process->run(rng, start) (see core/process.hpp).
 
 /// Registered process names, sorted.
 std::vector<std::string> process_names();
@@ -77,7 +77,6 @@ bool process_has_param(std::string_view name, std::string_view key);
 
 /// Instantiates the process named params["name"] on `g`. Throws SpecError
 /// on unknown names, malformed parameters, or unknown keys.
-std::unique_ptr<ScenarioProcess> make_process(const Graph& g,
-                                              const ParamMap& params);
+std::unique_ptr<Process> make_process(const Graph& g, const ParamMap& params);
 
 }  // namespace cobra::scenario

@@ -1,6 +1,7 @@
 // SPDX-License-Identifier: MIT
 #include "sim/sweep.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <vector>
 
@@ -21,6 +22,8 @@ SpreadMeasurement summarize_results(const std::vector<SpreadResult>& results) {
     }
     rounds.push_back(static_cast<double>(result.rounds));
     transmissions.push_back(static_cast<double>(result.total_transmissions));
+    measurement.peak_vertex_round = std::max(
+        measurement.peak_vertex_round, result.peak_vertex_round_transmissions);
   }
   if (!rounds.empty()) {
     measurement.rounds = summarize(rounds);
@@ -57,27 +60,33 @@ SpreadMeasurement measure_spread(
 
 SpreadMeasurement measure_cobra(const Graph& g, const CobraOptions& options,
                                 const TrialOptions& trials) {
-  CobraOptions local = options;
-  local.record_curves = true;  // needed for transmission accounting
   const auto starts = spreadable_starts(g);
-  // One process per participating thread; each trial resets it in O(1).
-  const auto results = run_trials_collect<SpreadResult, CobraProcess>(
-      trials, [&] { return CobraProcess(g, starts.front(), local); },
-      [&](std::size_t i, Rng& rng, CobraProcess& process) {
-        return run_cobra_cover(process, starts[i % starts.size()], rng);
-      });
-  return summarize_results(results);
+  // One unified-process workspace per participating thread; each trial
+  // resets it in O(1). Transmission totals are counted regardless of
+  // options.record_curves, so no flag forcing is needed.
+  return summarize_results(run_process_trials(
+      trials,
+      [&] {
+        return std::make_unique<CobraProcess>(g, starts.front(), options);
+      },
+      starts));
 }
 
 SpreadMeasurement measure_bips(const Graph& g, const BipsOptions& options,
                                const TrialOptions& trials) {
   const auto starts = spreadable_starts(g);
-  const auto results = run_trials_collect<SpreadResult, BipsProcess>(
-      trials, [&] { return BipsProcess(g, starts.front(), options); },
-      [&](std::size_t i, Rng& rng, BipsProcess& process) {
-        return run_bips_infection(process, starts[i % starts.size()], rng);
-      });
-  return summarize_results(results);
+  return summarize_results(run_process_trials(
+      trials,
+      [&] { return std::make_unique<BipsProcess>(g, starts.front(), options); },
+      starts));
+}
+
+SpreadMeasurement measure_process(const Graph& g, const std::string& name,
+                                  const ProcessParams& params,
+                                  const TrialOptions& trials) {
+  const auto starts = spreadable_starts(g);
+  return summarize_results(run_process_trials(
+      trials, [&] { return make_process(g, name, params); }, starts));
 }
 
 }  // namespace cobra

@@ -12,6 +12,7 @@
 
 #include "core/bips.hpp"
 #include "core/cobra.hpp"
+#include "core/process_factory.hpp"
 #include "graph/graph.hpp"
 #include "sim/trial_runner.hpp"
 #include "stats/summary.hpp"
@@ -22,6 +23,8 @@ struct SpreadMeasurement {
   Summary rounds;          ///< cover/infection rounds over completed trials
   Summary transmissions;   ///< total messages over completed trials
   std::size_t failed = 0;  ///< trials that hit max_rounds (excluded above)
+  /// Largest single-vertex single-round send over completed trials.
+  std::uint64_t peak_vertex_round = 0;
 };
 
 /// Vertices eligible as trial starting points: every vertex of positive
@@ -42,10 +45,18 @@ SpreadMeasurement measure_cobra(const Graph& g, const CobraOptions& options,
 SpreadMeasurement measure_bips(const Graph& g, const BipsOptions& options,
                                const TrialOptions& trials);
 
-/// Generic variant for the baseline protocols: `run` maps (start, rng) to
-/// a SpreadResult.
+/// Generic variant for one-shot run functions: `run` maps (start, rng) to
+/// a SpreadResult. Prefer measure_process, which reuses one workspace per
+/// thread.
 SpreadMeasurement measure_spread(
     const Graph& g, const TrialOptions& trials,
     const std::function<SpreadResult(Vertex, Rng&)>& run);
+
+/// Registry-driven variant: measures the factory process named `name`
+/// with string `params` (exactly what a scenario spec would pass), one
+/// workspace per thread, starts rotating over spreadable_starts(g).
+SpreadMeasurement measure_process(const Graph& g, const std::string& name,
+                                  const ProcessParams& params,
+                                  const TrialOptions& trials);
 
 }  // namespace cobra

@@ -9,4 +9,15 @@ std::vector<double> run_trials(
   return run_trials_collect<double>(options, fn);
 }
 
+std::vector<SpreadResult> run_process_trials(
+    const TrialOptions& options,
+    const std::function<std::unique_ptr<Process>()>& make_process,
+    std::span<const Vertex> starts) {
+  return run_trials_collect<SpreadResult, std::unique_ptr<Process>>(
+      options, make_process,
+      [starts](std::size_t i, Rng& rng, std::unique_ptr<Process>& process) {
+        return process->run(rng, starts[i % starts.size()]);
+      });
+}
+
 }  // namespace cobra

@@ -10,8 +10,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
+#include "core/process.hpp"
 #include "rand/rng.hpp"
 #include "sim/thread_pool.hpp"
 
@@ -79,5 +81,16 @@ std::vector<R> run_trials_collect(
   });
   return results;
 }
+
+/// Unified-process variant: every participating thread builds one Process
+/// workspace via make_process (typically a cobra::make_process factory
+/// call) and trial i runs it as process->run(Rng::for_trial(base_seed, i),
+/// starts[i % starts.size()]). One workspace per thread + reset-on-use
+/// keeps per-trial heap allocation at zero for every registered process.
+/// `starts` must stay alive for the duration of the call.
+std::vector<SpreadResult> run_process_trials(
+    const TrialOptions& options,
+    const std::function<std::unique_ptr<Process>()>& make_process,
+    std::span<const Vertex> starts);
 
 }  // namespace cobra

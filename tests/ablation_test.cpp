@@ -122,11 +122,14 @@ TEST(Accounting, TotalsAndPeaks) {
   EXPECT_EQ(acc.peak_vertex_round(), 7u);
 }
 
-TEST(Accounting, RecordWithoutBeginOpensRound) {
+TEST(Accounting, RecordWithoutBeginCountsTotalsOnly) {
+  // Bulk Monte Carlo mode: totals and peaks accrue without any per-round
+  // tracking (begin_round is the opt-in for the breakdown).
   Accounting acc;
   acc.record_vertex_send(4);
-  EXPECT_EQ(acc.rounds(), 1u);
+  EXPECT_EQ(acc.rounds(), 0u);
   EXPECT_EQ(acc.total(), 4u);
+  EXPECT_EQ(acc.peak_vertex_round(), 4u);
 }
 
 TEST(Accounting, EmptyAccounting) {

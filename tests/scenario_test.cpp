@@ -178,9 +178,8 @@ TEST(Registry, EveryProcessRunsOnAnExpander) {
   const Graph g = gen::connected_random_regular(64, 4, graph_rng);
   for (const std::string& name : process_names()) {
     ParamMap params{{"name", name}};
-    const auto process = make_process(g, params);
-    Rng rng(11);
-    const SpreadResult result = process->run(0, rng);
+    const auto process = scenario::make_process(g, params);
+    const SpreadResult result = process->run(Rng(11), 0);
     EXPECT_GT(result.rounds, 0u) << name;
     if (name != "sis") {
       // Every protocol except the source-free epidemic must cover/inform
@@ -201,9 +200,9 @@ TEST(Registry, UnknownKeysAndNamesFailLoudly) {
                     "unknown family 'nope'");
   const Graph g = gen::cycle(8);
   expect_spec_error(
-      [&] { make_process(g, {{"name", "cobra"}, {"k", "2"}, {"rho", "0.5"}}); },
+      [&] { scenario::make_process(g, {{"name", "cobra"}, {"k", "2"}, {"rho", "0.5"}}); },
       "not both");
-  expect_spec_error([&] { make_process(g, {{"name", "gossip9000"}}); },
+  expect_spec_error([&] { scenario::make_process(g, {{"name", "gossip9000"}}); },
                     "unknown name");
 }
 

@@ -38,14 +38,32 @@ std::string default_stem(const std::string& path) {
   return stem;
 }
 
+/// --list: names plus accepted parameter keys, straight from the factory
+/// metadata, so the listing cannot drift from what the planners validate.
 void print_registries() {
-  std::printf("graph families:\n");
+  std::printf("graph families (accepted [graph] keys):\n");
   for (const auto& name : graph_families()) {
-    std::printf("  %s\n", name.c_str());
+    std::string keys;
+    for (const auto& key : graph_family_param_keys(name)) {
+      if (!keys.empty()) keys += ", ";
+      keys += key;
+    }
+    std::printf("  %-24s %s\n", name.c_str(),
+                keys.empty() ? "(no parameters)" : keys.c_str());
   }
-  std::printf("processes:\n");
-  for (const auto& name : process_names()) {
-    std::printf("  %s\n", name.c_str());
+  std::printf("\nprocesses (accepted [process] keys):\n");
+  for (const ProcessSpec& spec : process_registry()) {
+    std::string keys;
+    for (const auto& param : spec.params) {
+      if (!keys.empty()) keys += ", ";
+      keys += param.key;
+    }
+    std::printf("  %-24s %s\n", spec.name,
+                keys.empty() ? "(no parameters)" : keys.c_str());
+    std::printf("  %-24s   %s\n", "", spec.summary);
+    for (const auto& param : spec.params) {
+      std::printf("  %-24s   %s: %s\n", "", param.key, param.doc);
+    }
   }
 }
 
