@@ -1,61 +1,295 @@
 // SPDX-License-Identifier: MIT
 //
-// M1a — substrate microbenchmarks: graph generator throughput.
-#include <benchmark/benchmark.h>
+// micro_graphgen — graph substrate benchmark emitting BENCH_graphgen.json.
+//
+// Measures, per family and size, the legacy serial construction path
+// (pre-refactor sampling loops + sort-based CSR assembly, kept in-tree as
+// the *_serial parity oracles) against the parallel substrate (chunked
+// generation + bucketized two-pass count/scatter assembly), plus the
+// assembly stage in isolation on the same edge multiset in generator
+// emission order. Also reports bytes/vertex before (fixed 8-byte offsets)
+// and after (width-adaptive offsets), and cross-checks that 1-thread and
+// T-thread assemblies produce identical graphs.
+//
+//   ./micro_graphgen [--scale small|medium|large] [--threads T] [--seed S]
+//                    [--out BENCH_graphgen.json]
+//
+// --scale large runs the ISSUE sizes n=2^20 and n=2^22; small keeps CI
+// under seconds. --threads defaults to max(4, hardware_concurrency).
+// Exit status: 1 if any thread-count determinism cross-check fails.
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
 
+#include "graph/builder.hpp"
 #include "graph/generators.hpp"
+#include "graph/graph.hpp"
 #include "rand/rng.hpp"
+#include "util/flags.hpp"
+#include "util/scale.hpp"
+#include "util/stopwatch.hpp"
 
 namespace {
 
-void BM_Complete(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(cobra::gen::complete(n));
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n * (n - 1) / 2));
-}
-BENCHMARK(BM_Complete)->Arg(128)->Arg(512);
+using namespace cobra;
 
-void BM_RandomRegular(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto r = static_cast<std::size_t>(state.range(1));
-  cobra::Rng rng(1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(cobra::gen::random_regular(n, r, rng));
+bool same_graph(const Graph& a, const Graph& b) {
+  if (a.num_vertices() != b.num_vertices() || a.num_edges() != b.num_edges()) {
+    return false;
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n * r / 2));
+  for (Vertex v = 0; v < a.num_vertices(); ++v) {
+    const auto na = a.neighbors(v);
+    const auto nb = b.neighbors(v);
+    if (na.size() != nb.size() ||
+        !std::equal(na.begin(), na.end(), nb.begin())) {
+      return false;
+    }
+  }
+  return true;
 }
-BENCHMARK(BM_RandomRegular)
-    ->Args({1024, 4})
-    ->Args({1024, 16})
-    ->Args({16384, 8});
 
-void BM_Torus2D(benchmark::State& state) {
-  const auto side = static_cast<std::size_t>(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(cobra::gen::torus({side, side}));
+/// Edge list in canonical CSR order (the multiset is what assembly
+/// consumes; order only matters for the legacy global sort's run
+/// structure, so we shuffle deterministically to emulate generator
+/// emission order rather than handing the sort presorted input).
+std::vector<std::pair<Vertex, Vertex>> extract_edges(const Graph& g,
+                                                     std::uint64_t seed) {
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  edges.reserve(g.num_edges());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    for (const Vertex w : g.neighbors(v)) {
+      if (v < w) edges.emplace_back(v, w);
+    }
   }
+  Rng rng(seed);
+  for (std::size_t i = edges.size(); i > 1; --i) {
+    std::swap(edges[i - 1], edges[rng.next_below(i)]);
+  }
+  return edges;
 }
-BENCHMARK(BM_Torus2D)->Arg(33)->Arg(129);
 
-void BM_ErdosRenyi(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  cobra::Rng rng(2);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(cobra::gen::erdos_renyi(n, 8.0 / n, rng));
-  }
-}
-BENCHMARK(BM_ErdosRenyi)->Arg(4096)->Arg(32768);
+struct Row {
+  std::string family;
+  std::size_t n = 0;
+  std::size_t edges = 0;
+  double gen_serial_ms = 0;      ///< legacy generator, serial assembly
+  double gen_parallel_ms = 0;    ///< new generator, parallel assembly
+  double asm_serial_ms = 0;      ///< build_serial on the edge multiset
+  double asm_parallel_ms = 0;    ///< build on the same multiset
+  double bytes_per_vertex_before = 0;  ///< 8-byte offsets (pre-refactor)
+  double bytes_per_vertex_after = 0;   ///< width-adaptive offsets
+  bool deterministic = false;    ///< 1-thread vs T-thread graphs identical
 
-void BM_Hypercube(benchmark::State& state) {
-  const auto d = static_cast<std::size_t>(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(cobra::gen::hypercube(d));
+  double gen_speedup() const {
+    return gen_parallel_ms > 0 ? gen_serial_ms / gen_parallel_ms : 0;
+  }
+  double asm_speedup() const {
+    return asm_parallel_ms > 0 ? asm_serial_ms / asm_parallel_ms : 0;
+  }
+};
+
+double timed_ms(const std::function<void()>& fn) {
+  Stopwatch watch;
+  fn();
+  return watch.seconds() * 1e3;
+}
+
+/// Times the assembly stage both ways on the same multiset and fills the
+/// memory/determinism columns from the parallel result.
+void measure_assembly(Row& row, std::size_t n,
+                      const std::vector<std::pair<Vertex, Vertex>>& edges,
+                      std::size_t threads) {
+  Graph parallel_graph;
+  {
+    GraphBuilder builder(n);
+    builder.reserve(edges.size());
+    for (const auto& [u, v] : edges) builder.add_edge(u, v);
+    row.asm_serial_ms = timed_ms([&] {
+      Graph g = builder.build_serial(row.family + "/serial");
+      row.bytes_per_vertex_before =
+          static_cast<double>((n + 1) * 8 + g.adjacency().size() * 4) /
+          static_cast<double>(n);
+    });
+  }
+  {
+    GraphBuilder::set_default_threads(threads);
+    GraphBuilder builder(n);
+    builder.reserve(edges.size());
+    for (const auto& [u, v] : edges) builder.add_edge(u, v);
+    row.asm_parallel_ms = timed_ms([&] {
+      parallel_graph = builder.build(row.family + "/parallel");
+    });
+    row.bytes_per_vertex_after =
+        static_cast<double>(parallel_graph.memory_bytes()) /
+        static_cast<double>(n);
+  }
+  {
+    // Thread-count independence: a 1-thread run of the parallel algorithm
+    // must produce the identical graph.
+    GraphBuilder::set_default_threads(1);
+    GraphBuilder builder(n);
+    builder.reserve(edges.size());
+    for (const auto& [u, v] : edges) builder.add_edge(u, v);
+    const Graph single = builder.build(row.family + "/single");
+    row.deterministic = same_graph(single, parallel_graph);
+    GraphBuilder::set_default_threads(threads);
   }
 }
-BENCHMARK(BM_Hypercube)->Arg(10)->Arg(14);
+
+void emit_row(std::FILE* f, const Row& row, bool last) {
+  std::fprintf(
+      f,
+      "    {\"family\": \"%s\", \"n\": %zu, \"edges\": %zu,\n"
+      "     \"gen_serial_ms\": %.1f, \"gen_parallel_ms\": %.1f, "
+      "\"gen_speedup\": %.2f,\n"
+      "     \"assembly_serial_ms\": %.1f, \"assembly_parallel_ms\": %.1f, "
+      "\"assembly_speedup\": %.2f,\n"
+      "     \"bytes_per_vertex_before\": %.1f, \"bytes_per_vertex_after\": "
+      "%.1f, \"deterministic\": %s}%s\n",
+      row.family.c_str(), row.n, row.edges, row.gen_serial_ms,
+      row.gen_parallel_ms, row.gen_speedup(), row.asm_serial_ms,
+      row.asm_parallel_ms, row.asm_speedup(), row.bytes_per_vertex_before,
+      row.bytes_per_vertex_after, row.deterministic ? "true" : "false",
+      last ? "" : ",");
+}
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const Scale scale = Scale::from_flags(flags);
+  const std::string out_path = flags.get("out", "BENCH_graphgen.json");
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  std::size_t threads = static_cast<std::size_t>(flags.get_int("threads", 0));
+  if (threads == 0) {
+    threads = std::max<std::size_t>(4, std::thread::hardware_concurrency());
+  }
+  if (flags.help_requested()) {
+    std::printf("usage: micro_graphgen [flags]\n\nflags:\n");
+    flags.print_help(std::cout);
+    return 0;
+  }
+  flags.warn_unconsumed(std::cerr);
+
+  const std::size_t n_small = scale.pick<std::size_t>(1 << 13, 1 << 18, 1 << 20);
+  const std::size_t n_large = scale.pick<std::size_t>(1 << 15, 1 << 20, 1 << 22);
+
+  std::vector<Row> rows;
+  for (const std::size_t n : {n_small, n_large}) {
+    // random_regular(r=8): bitwise-identical sampling, assembly swapped.
+    {
+      Row row;
+      row.family = "random_regular";
+      row.n = n;
+      GraphBuilder::set_default_threads(1);
+      Rng serial_rng(seed);
+      Graph serial_graph;
+      row.gen_serial_ms = timed_ms(
+          [&] { serial_graph = gen::random_regular_serial(n, 8, serial_rng); });
+      GraphBuilder::set_default_threads(threads);
+      Rng parallel_rng(seed);
+      Graph parallel_graph;
+      row.gen_parallel_ms = timed_ms(
+          [&] { parallel_graph = gen::random_regular(n, 8, parallel_rng); });
+      row.edges = parallel_graph.num_edges();
+      if (!same_graph(serial_graph, parallel_graph)) {
+        std::fprintf(stderr,
+                     "FATAL: random_regular parity broken at n=%zu\n", n);
+        return 1;
+      }
+      const auto edges = extract_edges(parallel_graph, seed ^ 0x9e37);
+      serial_graph = Graph();
+      parallel_graph = Graph();
+      measure_assembly(row, n, edges, threads);
+      rows.push_back(std::move(row));
+    }
+    // erdos_renyi(p = 8/n): restructured sampler (per-chunk streams).
+    {
+      Row row;
+      row.family = "erdos_renyi";
+      row.n = n;
+      const double p = 8.0 / static_cast<double>(n);
+      GraphBuilder::set_default_threads(1);
+      Rng serial_rng(seed);
+      row.gen_serial_ms =
+          timed_ms([&] { gen::erdos_renyi_serial(n, p, serial_rng); });
+      GraphBuilder::set_default_threads(threads);
+      Rng parallel_rng(seed);
+      Graph parallel_graph;
+      row.gen_parallel_ms =
+          timed_ms([&] { parallel_graph = gen::erdos_renyi(n, p, parallel_rng); });
+      row.edges = parallel_graph.num_edges();
+      const auto edges = extract_edges(parallel_graph, seed ^ 0x79b9);
+      parallel_graph = Graph();
+      measure_assembly(row, n, edges, threads);
+      rows.push_back(std::move(row));
+    }
+    // torus (2D, near-square): deterministic, bitwise-identical output.
+    {
+      Row row;
+      row.family = "torus2d";
+      row.n = n;
+      std::size_t side = 1;
+      while (side * side < n) side <<= 1;
+      const std::vector<std::size_t> dims{side, n / side};
+      GraphBuilder::set_default_threads(1);
+      Graph serial_graph;
+      row.gen_serial_ms =
+          timed_ms([&] { serial_graph = gen::grid_serial(dims, true); });
+      GraphBuilder::set_default_threads(threads);
+      Graph parallel_graph;
+      row.gen_parallel_ms =
+          timed_ms([&] { parallel_graph = gen::torus(dims); });
+      row.edges = parallel_graph.num_edges();
+      if (!same_graph(serial_graph, parallel_graph)) {
+        std::fprintf(stderr, "FATAL: torus parity broken at n=%zu\n", n);
+        return 1;
+      }
+      const auto edges = extract_edges(parallel_graph, seed ^ 0x85eb);
+      serial_graph = Graph();
+      parallel_graph = Graph();
+      measure_assembly(row, n, edges, threads);
+      rows.push_back(std::move(row));
+    }
+  }
+
+  bool all_deterministic = true;
+  for (const Row& row : rows) all_deterministic &= row.deterministic;
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"graphgen\",\n  \"scale\": \"%s\",\n"
+               "  \"threads\": %zu,\n  \"seed\": %llu,\n  \"rows\": [\n",
+               scale.name().c_str(), threads,
+               static_cast<unsigned long long>(seed));
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    emit_row(f, rows[i], i + 1 == rows.size());
+  }
+  std::fprintf(f, "  ],\n  \"all_deterministic\": %s\n}\n",
+               all_deterministic ? "true" : "false");
+  std::fclose(f);
+
+  std::printf("%-16s %10s %12s %12s %8s %12s %12s %8s %7s %7s\n", "family",
+              "n", "gen_ser_ms", "gen_par_ms", "gen_x", "asm_ser_ms",
+              "asm_par_ms", "asm_x", "B/v_old", "B/v_new");
+  for (const Row& row : rows) {
+    std::printf("%-16s %10zu %12.1f %12.1f %8.2f %12.1f %12.1f %8.2f %7.1f "
+                "%7.1f%s\n",
+                row.family.c_str(), row.n, row.gen_serial_ms,
+                row.gen_parallel_ms, row.gen_speedup(), row.asm_serial_ms,
+                row.asm_parallel_ms, row.asm_speedup(),
+                row.bytes_per_vertex_before, row.bytes_per_vertex_after,
+                row.deterministic ? "" : "  DETERMINISM BROKEN");
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return all_deterministic ? 0 : 1;
+}

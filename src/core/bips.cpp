@@ -125,7 +125,10 @@ std::size_t BipsProcess::step(Rng& rng) {
   flips_.clear();
   newly_.clear();
 
-  const std::size_t* offsets = graph_->offsets().data();
+  // Width-adaptive offsets: see the matching comment in cobra.cpp.
+  const std::uint32_t* off32 = graph_->offsets32().data();
+  const std::uint64_t* off64 = graph_->offsets64().data();
+  const bool wide = graph_->offsets_are_wide();
   const Vertex* adjacency = graph_->adjacency().data();
   const int regular = graph_->regularity();
   const char* infected = infected_.data();
@@ -136,8 +139,9 @@ std::size_t BipsProcess::step(Rng& rng) {
       degree = static_cast<std::uint32_t>(regular);
       return adjacency + static_cast<std::size_t>(u) * degree;
     }
-    const std::size_t begin = offsets[u];
-    degree = static_cast<std::uint32_t>(offsets[u + 1] - begin);
+    const std::size_t begin = wide ? off64[u] : off32[u];
+    const std::size_t end = wide ? off64[u + 1] : off32[u + 1];
+    degree = static_cast<std::uint32_t>(end - begin);
     return adjacency + begin;
   };
 

@@ -136,7 +136,11 @@ std::size_t CobraProcess::step(Rng& rng) {
 
   // Raw CSR pointers keep the draw loop free of span re-construction; on a
   // regular graph the offsets array is bypassed entirely (begin = v * r).
-  const std::size_t* offsets = graph_->offsets().data();
+  // Offsets are width-adaptive (32-bit unless 2m >= 2^32); the single
+  // `wide` branch below predicts perfectly.
+  const std::uint32_t* off32 = graph_->offsets32().data();
+  const std::uint64_t* off64 = graph_->offsets64().data();
+  const bool wide = graph_->offsets_are_wide();
   const Vertex* adjacency = graph_->adjacency().data();
   const int regular = graph_->regularity();
   std::uint64_t* visit = visit_.data();
@@ -165,8 +169,9 @@ std::size_t CobraProcess::step(Rng& rng) {
       degree = static_cast<std::uint32_t>(regular);
       return adjacency + static_cast<std::size_t>(v) * degree;
     }
-    const std::size_t begin = offsets[v];
-    degree = static_cast<std::uint32_t>(offsets[v + 1] - begin);
+    const std::size_t begin = wide ? off64[v] : off32[v];
+    const std::size_t end = wide ? off64[v + 1] : off32[v + 1];
+    degree = static_cast<std::uint32_t>(end - begin);
     return adjacency + begin;
   };
 

@@ -5,9 +5,25 @@
 // through this class, so the CSR invariants (sorted neighbour lists, no
 // self-loops, no multi-edges, symmetric adjacency) are established in
 // exactly one place.
+//
+// build()/build_dedup() assemble the CSR with a two-pass count/scatter
+// algorithm parallelized on the sim/ thread pool: degree counting and
+// endpoint scattering claim edge chunks with relaxed atomic adds, then
+// per-vertex neighbour sorts (which also detect duplicates as adjacent
+// equal entries) run over vertex chunks. No global edge sort is performed,
+// which is what makes assembly several times faster than the legacy path
+// even single-threaded. Because the finished CSR is canonical (sorted
+// neighbourhoods), the result is bitwise-identical whatever the thread
+// count or scatter interleaving.
+//
+// build_serial()/build_dedup_serial() keep the original sort-based
+// assembly verbatim — the parity oracle for tests and the baseline that
+// bench/micro_graphgen measures the parallel path against.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -21,10 +37,30 @@ class GraphBuilder {
   /// Builder for a graph on n vertices.
   explicit GraphBuilder(std::size_t n);
 
+  /// Pre-sizes the edge queue (generators that know m up front).
+  void reserve(std::size_t edges) { edges_.reserve(edges); }
+
   /// Queues the undirected edge {u, v}. Throws std::invalid_argument on
   /// out-of-range endpoints or self-loops. Duplicate edges are detected at
   /// build() time (cheaper than a hash set per add_edge).
   void add_edge(Vertex u, Vertex v);
+
+  /// Deterministic parallel edge generation: splits [0, count) into
+  /// fixed-size chunks (independent of thread count), runs
+  /// emit(begin, end, out) for each chunk — concurrently when the range is
+  /// large — and appends the chunk buffers in chunk order, so the queued
+  /// edge sequence is identical to a serial emit whatever the thread
+  /// count. Emitted edges are validated like add_edge (the first offending
+  /// edge in emit order is reported); emit must be pure (no shared mutable
+  /// state). `chunk_items` overrides the default chunk size for generators
+  /// whose [0, count) range is not a vertex count (e.g. G(n,p) chunks its
+  /// pair-index space); it must be a pure function of the generator's
+  /// parameters, never of the thread count.
+  void add_edges_chunked(
+      std::size_t count,
+      const std::function<void(std::size_t, std::size_t,
+                               std::vector<std::pair<Vertex, Vertex>>&)>& emit,
+      std::size_t chunk_items = 0);
 
   /// True if {u,v} was queued already. O(queued edges) — intended for
   /// generators that add few edges or want occasional checks; heavy users
@@ -34,8 +70,9 @@ class GraphBuilder {
   std::size_t num_vertices() const noexcept { return num_vertices_; }
   std::size_t num_edges_queued() const noexcept { return edges_.size(); }
 
-  /// Freezes into a Graph named `name`. Throws std::invalid_argument if any
-  /// duplicate undirected edge was queued. The builder is left empty.
+  /// Freezes into a Graph named `name` (parallel two-pass assembly).
+  /// Throws std::invalid_argument if any duplicate undirected edge was
+  /// queued. The builder is left empty.
   Graph build(std::string name);
 
   /// Like build(), but silently drops duplicate edges instead of throwing —
@@ -43,11 +80,37 @@ class GraphBuilder {
   /// are expected and harmless.
   Graph build_dedup(std::string name);
 
+  /// Legacy sort-based assembly (global edge sort + scatter + per-vertex
+  /// sorts), kept verbatim as the parity oracle for the parallel path and
+  /// the serial baseline for bench/micro_graphgen. Semantics identical to
+  /// build()/build_dedup().
+  Graph build_serial(std::string name);
+  Graph build_dedup_serial(std::string name);
+
+  /// Process-wide default parallelism for graph assembly: 0 (the default)
+  /// means hardware_concurrency; 1 forces serial execution of the parallel
+  /// algorithm (bitwise-identical output either way). Benches and the
+  /// thread-count-independence tests set this explicitly.
+  static void set_default_threads(std::size_t threads) noexcept;
+  static std::size_t default_threads() noexcept;
+
  private:
-  Graph finish(std::string name, bool allow_duplicates);
+  Graph finish_serial(std::string name, bool allow_duplicates);
+  Graph finish_parallel(std::string name, bool allow_duplicates);
 
   std::size_t num_vertices_;
   std::vector<std::pair<Vertex, Vertex>> edges_;
 };
+
+/// Freezes a pre-validated simple edge set (endpoints < n, no self-loops,
+/// no duplicate undirected edges) straight into CSR via the parallel
+/// two-pass assembly — the fast path for samplers that established
+/// simplicity already (configuration-model pairings, G(n,p) skip
+/// sequences). A duplicate still throws std::invalid_argument (the
+/// per-vertex sort pass detects it for free); self-loops/out-of-range
+/// endpoints are the caller's contract.
+Graph build_simple_edges(std::size_t n,
+                         std::vector<std::pair<Vertex, Vertex>> edges,
+                         std::string name);
 
 }  // namespace cobra

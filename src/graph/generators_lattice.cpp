@@ -1,4 +1,11 @@
 // SPDX-License-Identifier: MIT
+//
+// Lattice families. The parallel generators emit edges in deterministic
+// vertex-range chunks through GraphBuilder::add_edges_chunked; because the
+// families are deterministic (no RNG) and the builder canonicalizes
+// neighbour lists, the output is bitwise-identical to the legacy serial
+// generators (grid_serial / hypercube_serial, kept below as oracles) for
+// every thread count.
 #include <stdexcept>
 #include <string>
 
@@ -28,9 +35,20 @@ bool next_coordinate(std::vector<std::size_t>& coord,
   return false;
 }
 
-}  // namespace
+/// Inverse of linear_index: the coordinates of vertex `index` (last
+/// dimension varies fastest) — lets a chunk start mid-lattice.
+std::vector<std::size_t> coordinate_of(std::size_t index,
+                                       const std::vector<std::size_t>& dims) {
+  std::vector<std::size_t> coord(dims.size(), 0);
+  for (std::size_t d = dims.size(); d-- > 0;) {
+    coord[d] = index % dims[d];
+    index /= dims[d];
+  }
+  return coord;
+}
 
-Graph grid(const std::vector<std::size_t>& dims, bool periodic) {
+std::size_t checked_grid_size(const std::vector<std::size_t>& dims,
+                              bool periodic) {
   if (dims.empty()) throw std::invalid_argument("grid requires >= 1 dimension");
   std::size_t n = 1;
   for (const std::size_t side : dims) {
@@ -41,12 +59,82 @@ Graph grid(const std::vector<std::size_t>& dims, bool periodic) {
     }
     n *= side;
   }
+  return n;
+}
+
+std::string grid_name(const std::vector<std::size_t>& dims, bool periodic) {
+  std::string param = std::string(periodic ? "" : "open,") + "dims=";
+  for (std::size_t d = 0; d < dims.size(); ++d) {
+    if (d) param += 'x';
+    param += std::to_string(dims[d]);
+  }
+  return (periodic ? "torus(" : "grid(") + param + ")";
+}
+
+}  // namespace
+
+Graph grid(const std::vector<std::size_t>& dims, bool periodic) {
+  const std::size_t n = checked_grid_size(dims, periodic);
+  GraphBuilder builder(n);
+  builder.reserve(n * dims.size());
+  builder.add_edges_chunked(
+      n, [&dims, periodic](std::size_t begin, std::size_t end,
+                           std::vector<std::pair<Vertex, Vertex>>& out) {
+        out.reserve((end - begin) * dims.size());
+        std::vector<std::size_t> coord = coordinate_of(begin, dims);
+        std::vector<std::size_t> next(dims.size());
+        for (std::size_t u = begin; u < end; ++u) {
+          for (std::size_t d = 0; d < dims.size(); ++d) {
+            // Only the +1 direction: the -1 edge is added by the neighbour.
+            next = coord;
+            if (coord[d] + 1 < dims[d]) {
+              next[d] = coord[d] + 1;
+            } else if (periodic) {
+              next[d] = 0;
+            } else {
+              continue;
+            }
+            out.emplace_back(static_cast<Vertex>(u),
+                             static_cast<Vertex>(linear_index(next, dims)));
+          }
+          next_coordinate(coord, dims);
+        }
+      });
+  return builder.build(grid_name(dims, periodic));
+}
+
+Graph torus(const std::vector<std::size_t>& dims) {
+  return grid(dims, /*periodic=*/true);
+}
+
+Graph hypercube(std::size_t d) {
+  if (d < 1 || d > 31) throw std::invalid_argument("hypercube requires 1 <= d <= 31");
+  const std::size_t n = std::size_t{1} << d;
+  GraphBuilder builder(n);
+  builder.reserve(n * d / 2);
+  builder.add_edges_chunked(
+      n, [d](std::size_t begin, std::size_t end,
+             std::vector<std::pair<Vertex, Vertex>>& out) {
+        out.reserve((end - begin) * d / 2);
+        for (std::size_t v = begin; v < end; ++v) {
+          for (std::size_t bit = 0; bit < d; ++bit) {
+            const auto w = static_cast<Vertex>(v ^ (std::size_t{1} << bit));
+            if (v < w) out.emplace_back(static_cast<Vertex>(v), w);
+          }
+        }
+      });
+  return builder.build("hypercube(d=" + std::to_string(d) + ")");
+}
+
+// ---- legacy serial oracles (see generators.hpp) ----
+
+Graph grid_serial(const std::vector<std::size_t>& dims, bool periodic) {
+  const std::size_t n = checked_grid_size(dims, periodic);
   GraphBuilder builder(n);
   std::vector<std::size_t> coord(dims.size(), 0);
   do {
     const auto u = static_cast<Vertex>(linear_index(coord, dims));
     for (std::size_t d = 0; d < dims.size(); ++d) {
-      // Only the +1 direction: the -1 edge is added by the neighbour.
       auto next = coord;
       if (coord[d] + 1 < dims[d]) {
         next[d] = coord[d] + 1;
@@ -58,20 +146,10 @@ Graph grid(const std::vector<std::size_t>& dims, bool periodic) {
       builder.add_edge(u, static_cast<Vertex>(linear_index(next, dims)));
     }
   } while (next_coordinate(coord, dims));
-
-  std::string param = std::string(periodic ? "" : "open,") + "dims=";
-  for (std::size_t d = 0; d < dims.size(); ++d) {
-    if (d) param += 'x';
-    param += std::to_string(dims[d]);
-  }
-  return builder.build((periodic ? "torus(" : "grid(") + param + ")");
+  return builder.build_serial(grid_name(dims, periodic));
 }
 
-Graph torus(const std::vector<std::size_t>& dims) {
-  return grid(dims, /*periodic=*/true);
-}
-
-Graph hypercube(std::size_t d) {
+Graph hypercube_serial(std::size_t d) {
   if (d < 1 || d > 31) throw std::invalid_argument("hypercube requires 1 <= d <= 31");
   const std::size_t n = std::size_t{1} << d;
   GraphBuilder builder(n);
@@ -81,7 +159,7 @@ Graph hypercube(std::size_t d) {
       if (v < w) builder.add_edge(v, w);
     }
   }
-  return builder.build("hypercube(d=" + std::to_string(d) + ")");
+  return builder.build_serial("hypercube(d=" + std::to_string(d) + ")");
 }
 
 }  // namespace cobra::gen

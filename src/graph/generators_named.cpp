@@ -21,10 +21,7 @@ bool is_prime(std::size_t q) {
 }  // namespace
 
 Graph petersen() {
-  Graph g = generalized_petersen(5, 2);
-  return Graph(std::vector<std::size_t>(g.offsets().begin(), g.offsets().end()),
-               std::vector<Vertex>(g.adjacency().begin(), g.adjacency().end()),
-               "petersen");
+  return Graph(generalized_petersen(5, 2), "petersen");
 }
 
 Graph generalized_petersen(std::size_t n, std::size_t k) {

@@ -123,20 +123,50 @@ Graph random_regular(std::size_t n, std::size_t r, Rng& rng) {
   // constant (about exp(-(r*r-1)/4)), so rejection sampling gives the
   // exactly-uniform distribution cheaply. For larger r we fall back to
   // switch repair after a few failed rejections.
+  //
+  // The sampling loop is bitwise-identical to random_regular_serial: every
+  // RNG draw (pairing shuffles, repair switches) and every accept/reject
+  // decision is unchanged; only the accepted pairing's assembly moved to
+  // the parallel two-pass build (which consumes no randomness and produces
+  // the same canonical CSR).
+  const int rejection_budget = (r <= 6) ? 256 : 4;
+  for (int attempt = 0; attempt < rejection_budget; ++attempt) {
+    auto edges = random_pairing(n, r, rng);
+    if (!pairing_is_simple(edges)) continue;
+    return build_simple_edges(n, std::move(edges), name);
+  }
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    auto edges = random_pairing(n, r, rng);
+    if (!repair_pairing(edges, rng)) continue;
+    return build_simple_edges(n, std::move(edges), name);
+  }
+  throw std::runtime_error("random_regular: switch repair failed to converge");
+}
+
+Graph random_regular_serial(std::size_t n, std::size_t r, Rng& rng) {
+  if (r >= n) throw std::invalid_argument("random_regular requires r < n");
+  if ((n * r) % 2 != 0) {
+    throw std::invalid_argument("random_regular requires n*r even");
+  }
+  const std::string name = "random_regular(n=" + std::to_string(n) +
+                           ",r=" + std::to_string(r) + ")";
+  if (r == 0) return GraphBuilder(n).build_serial(name);
+  if (r == n - 1) return complete(n);
+
   const int rejection_budget = (r <= 6) ? 256 : 4;
   for (int attempt = 0; attempt < rejection_budget; ++attempt) {
     auto edges = random_pairing(n, r, rng);
     if (!pairing_is_simple(edges)) continue;
     GraphBuilder builder(n);
     for (const auto& [u, v] : edges) builder.add_edge(u, v);
-    return builder.build(name);
+    return builder.build_serial(name);
   }
   for (int attempt = 0; attempt < 64; ++attempt) {
     auto edges = random_pairing(n, r, rng);
     if (!repair_pairing(edges, rng)) continue;
     GraphBuilder builder(n);
     for (const auto& [u, v] : edges) builder.add_edge(u, v);
-    return builder.build(name);
+    return builder.build_serial(name);
   }
   throw std::runtime_error("random_regular: switch repair failed to converge");
 }
@@ -153,6 +183,22 @@ Graph connected_random_regular(std::size_t n, std::size_t r, Rng& rng,
       " too small?)");
 }
 
+namespace {
+
+/// Inverse of the row-major pair ranking: linear index t (0-based over the
+/// C(n,2) pairs ordered by larger endpoint, then smaller) -> {w, v} with
+/// w < v. Row v covers indices [v(v-1)/2, v(v+1)/2).
+std::pair<Vertex, Vertex> unrank_pair(std::uint64_t t) {
+  auto v = static_cast<std::uint64_t>(
+      (1.0 + std::sqrt(1.0 + 8.0 * static_cast<double>(t))) * 0.5);
+  // The double sqrt is exact to ~2^52; nudge across any rounding error.
+  while (v > 1 && v * (v - 1) / 2 > t) --v;
+  while ((v + 1) * v / 2 <= t) ++v;
+  return {static_cast<Vertex>(t - v * (v - 1) / 2), static_cast<Vertex>(v)};
+}
+
+}  // namespace
+
 Graph erdos_renyi(std::size_t n, double p, Rng& rng) {
   if (p < 0.0 || p > 1.0) {
     throw std::invalid_argument("erdos_renyi requires p in [0,1]");
@@ -163,8 +209,54 @@ Graph erdos_renyi(std::size_t n, double p, Rng& rng) {
   if (n < 2 || p == 0.0) return builder.build(name);
   if (p == 1.0) return complete(n);
 
-  // Geometric skipping (Batagelj-Brandes): enumerate the n*(n-1)/2 pairs in
-  // row-major order, jumping Geometric(p) positions between successes.
+  // Geometric skipping (Batagelj-Brandes) over the linear pair-index
+  // space, split into deterministic chunks: chunk c runs the skip
+  // sequence over its own index subrange with its own RNG stream
+  // (Rng::for_trial(master, c)), so the sample is a pure function of
+  // (seed, n, p) — independent of thread count. The chunk count depends
+  // only on n. The per-chunk streams make this a restructured sampler:
+  // erdos_renyi_serial keeps the legacy single-stream sequence as the
+  // distributional parity oracle.
+  const double log_q = std::log1p(-p);
+  const auto nn = static_cast<std::uint64_t>(n);
+  const std::uint64_t total_pairs = nn * (nn - 1) / 2;
+  const std::uint64_t master = rng();
+  const std::uint64_t chunks =
+      std::min<std::uint64_t>(4096, std::max<std::uint64_t>(1, nn / 4096));
+  const std::uint64_t chunk_pairs = (total_pairs + chunks - 1) / chunks;
+  builder.add_edges_chunked(
+      total_pairs,
+      [master, log_q, chunk_pairs](
+          std::size_t begin, std::size_t end,
+          std::vector<std::pair<Vertex, Vertex>>& out) {
+        Rng chunk_rng = Rng::for_trial(master, begin / chunk_pairs);
+        auto t = static_cast<std::uint64_t>(begin);
+        const auto stop = static_cast<std::uint64_t>(end);
+        while (true) {
+          const double u01 = 1.0 - chunk_rng.next_double();
+          const double skip = std::floor(std::log(u01) / log_q);
+          if (skip >= static_cast<double>(stop - t)) break;
+          t += static_cast<std::uint64_t>(skip);
+          out.push_back(unrank_pair(t));
+          if (++t >= stop) break;
+        }
+      },
+      chunk_pairs);
+  return builder.build(name);
+}
+
+Graph erdos_renyi_serial(std::size_t n, double p, Rng& rng) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("erdos_renyi requires p in [0,1]");
+  }
+  GraphBuilder builder(n);
+  const std::string name =
+      "erdos_renyi(n=" + std::to_string(n) + ",p=" + std::to_string(p) + ")";
+  if (n < 2 || p == 0.0) return builder.build_serial(name);
+  if (p == 1.0) return complete(n);
+
+  // The legacy single-stream skip sequence: enumerate the n*(n-1)/2 pairs
+  // in row-major order, jumping Geometric(p) positions between successes.
   const double log_q = std::log1p(-p);
   std::uint64_t v = 1;
   std::int64_t w = -1;
@@ -180,7 +272,7 @@ Graph erdos_renyi(std::size_t n, double p, Rng& rng) {
       builder.add_edge(static_cast<Vertex>(w), static_cast<Vertex>(v));
     }
   }
-  return builder.build(name);
+  return builder.build_serial(name);
 }
 
 Graph watts_strogatz(std::size_t n, std::size_t k, double beta, Rng& rng) {

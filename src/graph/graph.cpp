@@ -8,10 +8,72 @@ namespace cobra {
 
 Graph::Graph(std::vector<std::size_t> offsets, std::vector<Vertex> adjacency,
              std::string name)
-    : offsets_(std::move(offsets)),
+    : adjacency_(std::move(adjacency)),
+      name_(std::move(name)),
+      num_vertices_(offsets.empty() ? 0 : offsets.size() - 1) {
+  wide_ = !csr_offsets_fit_32bit(adjacency_.size());
+  if (wide_) {
+    offsets64_.assign(offsets.begin(), offsets.end());
+    offsets32_.clear();
+  } else {
+    offsets32_.assign(offsets.begin(), offsets.end());
+    if (offsets32_.empty()) offsets32_.push_back(0);
+  }
+  finish_stats();
+}
+
+Graph::Graph(std::vector<std::uint32_t> offsets, std::vector<Vertex> adjacency,
+             std::string name)
+    : offsets32_(std::move(offsets)),
       adjacency_(std::move(adjacency)),
       name_(std::move(name)),
-      num_vertices_(offsets_.empty() ? 0 : offsets_.size() - 1) {
+      num_vertices_(offsets32_.empty() ? 0 : offsets32_.size() - 1),
+      wide_(false) {
+  if (offsets32_.empty()) offsets32_.push_back(0);
+  finish_stats();
+}
+
+Graph::Graph(std::vector<std::uint32_t> offsets, std::vector<Vertex> adjacency,
+             std::string name, std::size_t min_degree, std::size_t max_degree)
+    : offsets32_(std::move(offsets)),
+      adjacency_(std::move(adjacency)),
+      name_(std::move(name)),
+      num_vertices_(offsets32_.empty() ? 0 : offsets32_.size() - 1),
+      wide_(false) {
+  if (offsets32_.empty()) offsets32_.push_back(0);
+  set_stats(min_degree, max_degree);
+}
+
+Graph::Graph(std::vector<std::uint64_t> offsets, std::vector<Vertex> adjacency,
+             std::string name, std::size_t min_degree, std::size_t max_degree)
+    : offsets64_(std::move(offsets)),
+      adjacency_(std::move(adjacency)),
+      name_(std::move(name)),
+      num_vertices_(offsets64_.empty() ? 0 : offsets64_.size() - 1),
+      wide_(true) {
+  offsets32_.clear();
+  if (offsets64_.empty()) offsets64_.push_back(0);
+  set_stats(min_degree, max_degree);
+}
+
+Graph::Graph(const Graph& other, std::string name) : Graph(other) {
+  name_ = std::move(name);
+}
+
+void Graph::set_stats(std::size_t min_degree, std::size_t max_degree) {
+  if (num_vertices_ == 0) {
+    min_degree_ = max_degree_ = 0;
+    regularity_ = -1;
+    return;
+  }
+  min_degree_ = min_degree;
+  max_degree_ = max_degree;
+  regularity_ = (min_degree_ == max_degree_)
+                    ? static_cast<int>(min_degree_)
+                    : -1;
+}
+
+void Graph::finish_stats() {
   if (num_vertices_ == 0) {
     min_degree_ = max_degree_ = 0;
     regularity_ = -1;
@@ -20,7 +82,7 @@ Graph::Graph(std::vector<std::size_t> offsets, std::vector<Vertex> adjacency,
   min_degree_ = std::numeric_limits<std::size_t>::max();
   max_degree_ = 0;
   for (Vertex v = 0; v < num_vertices_; ++v) {
-    const std::size_t d = offsets_[v + 1] - offsets_[v];
+    const std::size_t d = degree(v);
     min_degree_ = std::min(min_degree_, d);
     max_degree_ = std::max(max_degree_, d);
   }

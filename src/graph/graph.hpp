@@ -10,6 +10,13 @@
 // Design choices:
 //  * Vertices are dense uint32_t ids [0, n). 4 bytes/endpoint keeps large
 //    sweeps cache-friendly; n up to ~4e9 is far beyond experiment scale.
+//  * Offsets are width-adaptive: stored as uint32 when the adjacency has
+//    fewer than 2^32 endpoints (every realistic instance: n=2^26 at r=16 is
+//    2^30 endpoints), falling back to uint64 transparently. This roughly
+//    halves the offsets' resident size at large n, which matters because
+//    sparse instances are offset-dominated (offsets are n+1 entries vs 2m
+//    adjacency entries). Hot loops that want raw pointers branch once on
+//    offsets_are_wide(); everything else goes through degree()/neighbors().
 //  * The structure is immutable after construction (value semantics,
 //    cheap moves). Processes keep their mutable state outside the graph.
 //  * Multi-edges and self-loops are rejected at build time: the paper's
@@ -27,6 +34,13 @@ namespace cobra {
 
 using Vertex = std::uint32_t;
 
+/// True if a CSR with `endpoints` (= 2m) adjacency entries fits 32-bit
+/// offsets. Exposed so the width-selection boundary is testable without
+/// materializing a 16 GiB adjacency.
+constexpr bool csr_offsets_fit_32bit(std::uint64_t endpoints) noexcept {
+  return endpoints <= 0xFFFFFFFFULL;
+}
+
 class Graph {
  public:
   /// Empty graph (0 vertices). Mostly useful as a placeholder target.
@@ -36,27 +50,51 @@ class Graph {
   /// adjacency.size() == offsets[n] == 2m, neighbour lists sorted.
   /// Validation of these invariants lives in GraphBuilder; this constructor
   /// trusts its inputs and is intended to be called via the builder.
+  /// Offsets are narrowed to 32-bit storage when 2m < 2^32.
   Graph(std::vector<std::size_t> offsets, std::vector<Vertex> adjacency,
         std::string name);
+
+  /// Direct narrow-offset constructor: the parallel builder and the binary
+  /// loader produce 32-bit offsets natively, skipping the widen/narrow
+  /// round-trip.
+  Graph(std::vector<std::uint32_t> offsets, std::vector<Vertex> adjacency,
+        std::string name);
+
+  /// Builder fast paths: precomputed degree extrema (the parallel
+  /// assembly's prefix pass tracks them for free) skip the constructor's
+  /// O(n) rescan. Trusted like the other CSR inputs.
+  Graph(std::vector<std::uint32_t> offsets, std::vector<Vertex> adjacency,
+        std::string name, std::size_t min_degree, std::size_t max_degree);
+  Graph(std::vector<std::uint64_t> offsets, std::vector<Vertex> adjacency,
+        std::string name, std::size_t min_degree, std::size_t max_degree);
+
+  /// Copy of `other` carrying a different display name (metadata only).
+  Graph(const Graph& other, std::string name);
 
   std::size_t num_vertices() const noexcept { return num_vertices_; }
 
   /// Number of undirected edges m (adjacency stores 2m endpoints).
   std::size_t num_edges() const noexcept { return adjacency_.size() / 2; }
 
+  /// CSR offset of v's neighbour block (v in [0, n]).
+  std::size_t offset(Vertex v) const noexcept {
+    return wide_ ? offsets64_[v] : offsets32_[v];
+  }
+
   std::size_t degree(Vertex v) const noexcept {
-    return offsets_[v + 1] - offsets_[v];
+    return offset(v + 1) - offset(v);
   }
 
   /// Sorted neighbour list of v.
   std::span<const Vertex> neighbors(Vertex v) const noexcept {
-    return {adjacency_.data() + offsets_[v], degree(v)};
+    const std::size_t begin = offset(v);
+    return {adjacency_.data() + begin, offset(v + 1) - begin};
   }
 
   /// The i-th neighbour of v (0 <= i < degree(v)); the process engines'
   /// "choose a uniform neighbour" is neighbor(v, rng.next_below(degree)).
   Vertex neighbor(Vertex v, std::size_t i) const noexcept {
-    return adjacency_[offsets_[v] + i];
+    return adjacency_[offset(v) + i];
   }
 
   /// True if {u, v} is an edge. O(log degree) binary search.
@@ -75,18 +113,49 @@ class Graph {
   /// "random_regular(n=1024,r=8)"); used in experiment tables.
   const std::string& name() const noexcept { return name_; }
 
-  /// Raw CSR access for the spectral kernels.
-  std::span<const std::size_t> offsets() const noexcept { return offsets_; }
+  // ---- raw CSR access (spectral kernels, process engines, binary IO) ----
+  //
+  // Exactly one of offsets32()/offsets64() is non-empty (for a non-empty
+  // graph); branch on offsets_are_wide() once outside the hot loop.
+
+  /// True when offsets are stored as uint64 (2m >= 2^32).
+  bool offsets_are_wide() const noexcept { return wide_; }
+
+  std::span<const std::uint32_t> offsets32() const noexcept {
+    return offsets32_;
+  }
+  std::span<const std::uint64_t> offsets64() const noexcept {
+    return offsets64_;
+  }
+
   std::span<const Vertex> adjacency() const noexcept { return adjacency_; }
 
+  /// Bytes per stored offset entry (4 or 8).
+  std::size_t offset_bytes() const noexcept { return wide_ ? 8 : 4; }
+
+  /// Resident bytes of the CSR arrays (offsets + adjacency); the number a
+  /// campaign's peak-memory estimate predicts.
+  std::size_t memory_bytes() const noexcept {
+    return (num_vertices_ + 1) * offset_bytes() +
+           adjacency_.size() * sizeof(Vertex);
+  }
+
  private:
-  std::vector<std::size_t> offsets_{0};
+  void finish_stats();
+  void set_stats(std::size_t min_degree, std::size_t max_degree);
+
+  // Width-adaptive offsets: offsets32_ holds the n+1 entries when
+  // 2m < 2^32 (wide_ == false), offsets64_ otherwise. The inactive vector
+  // stays empty.
+  std::vector<std::uint32_t> offsets32_{0};
+  std::vector<std::uint64_t> offsets64_;
   std::vector<Vertex> adjacency_;
   std::string name_ = "empty";
   std::size_t num_vertices_ = 0;
   std::size_t min_degree_ = 0;
   std::size_t max_degree_ = 0;
   int regularity_ = -1;
+  bool wide_ = false;
 };
 
 }  // namespace cobra

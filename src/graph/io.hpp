@@ -40,4 +40,43 @@ Graph read_edge_list(std::istream& is, std::string name = "from_edge_list",
 /// Graphviz DOT (undirected) for small-graph visualisation.
 void write_dot(const Graph& g, std::ostream& os);
 
+// ---- binary CSR format (.cgr) ----
+//
+// Versioned binary container for large instances: a campaign generates a
+// graph once, writes it as .cgr, and every later run loads the CSR arrays
+// with two bulk copies instead of re-parsing (or regenerating) millions of
+// edges. Layout (little-endian, all sections 8-byte aligned):
+//
+//   0x00  8 bytes   magic "COBRACGR"
+//   0x08  u32       version (currently 1)
+//   0x0c  u32       flags (bit 0: offsets stored as u64; else u32)
+//   0x10  u64       n   (vertex count)
+//   0x18  u64       2m  (adjacency length)
+//   0x20  u32       name_len, then name bytes, zero-padded to 8 bytes
+//   ....  (n+1) offsets (u32 or u64 per flags)
+//   ....  2m u32 adjacency entries
+//
+// The offset width flag must match csr_offsets_fit_32bit(2m) — the file
+// mirrors the in-memory width-adaptive representation, so loading never
+// widens or narrows. Loading mmaps the file when the platform allows
+// (one kernel-backed copy, no userspace parsing) and falls back to
+// streamed reads; either way the full CSR invariants (monotone offsets,
+// sorted in-range neighbour lists) are validated before a Graph is
+// returned, and truncated or corrupt files are rejected with
+// std::invalid_argument naming the defect.
+
+/// Writes `g` to `path` in the .cgr format above. Throws
+/// std::invalid_argument on IO failure.
+void write_cgr(const Graph& g, const std::string& path);
+
+/// Loads a .cgr file. `name` overrides the stored graph name when
+/// non-empty. Throws std::invalid_argument on IO failure, bad
+/// magic/version, size mismatch (truncation), or violated CSR invariants.
+Graph read_cgr(const std::string& path, std::string name = "");
+
+/// True if `path` exists and starts with the .cgr magic (false on any IO
+/// error) — used by the scenario registry's `graph.file` to auto-detect
+/// the binary format.
+bool is_cgr_file(const std::string& path);
+
 }  // namespace cobra

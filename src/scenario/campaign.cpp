@@ -7,6 +7,7 @@
 #include <mutex>
 #include <ostream>
 
+#include "scenario/graph_cache.hpp"
 #include "scenario/sink.hpp"
 #include "sim/sweep.hpp"
 #include "sim/thread_pool.hpp"
@@ -40,50 +41,6 @@ Graph build_graph_instance(const CampaignPlan& plan, const JobSpec& job) {
   Rng rng(graph_seed(plan, job));
   return build_graph(job.graph, rng);
 }
-
-/// Shares one deterministic graph instance across the jobs that use it and
-/// releases it once the last of them finishes (large sweeps would
-/// otherwise hold every instance until the campaign ends).
-class GraphCache {
- public:
-  static std::string key_for(const JobSpec& job) {
-    return canonical_params(job.graph) + "#" +
-           std::to_string(job.seed_index);
-  }
-
-  void expect(const JobSpec& job) { ++uses_[key_for(job)]; }
-
-  std::shared_ptr<const Graph> acquire(const CampaignPlan& plan,
-                                       const JobSpec& job) {
-    const std::string key = key_for(job);
-    {
-      std::lock_guard lock(mutex_);
-      const auto it = cache_.find(key);
-      if (it != cache_.end()) return it->second;
-    }
-    // Built outside the lock: concurrent misses build identical instances
-    // (same seed) and the first insert wins.
-    auto built =
-        std::make_shared<const Graph>(build_graph_instance(plan, job));
-    std::lock_guard lock(mutex_);
-    return cache_.try_emplace(key, std::move(built)).first->second;
-  }
-
-  void release(const JobSpec& job) {
-    const std::string key = key_for(job);
-    std::lock_guard lock(mutex_);
-    const auto it = uses_.find(key);
-    if (it != uses_.end() && --it->second == 0) {
-      uses_.erase(it);
-      cache_.erase(key);
-    }
-  }
-
- private:
-  std::mutex mutex_;
-  std::map<std::string, std::size_t> uses_;
-  std::map<std::string, std::shared_ptr<const Graph>> cache_;
-};
 
 struct Axis {
   int section;        ///< 0 = seeds, 1 = graph, 2 = process
@@ -351,7 +308,10 @@ CampaignResult run_campaign(const CampaignPlan& plan,
     pending.resize(options.max_jobs);
   }
 
-  GraphCache cache;
+  // Single-flight instance cache: concurrent misses on one key block on
+  // the first builder instead of racing duplicate builds (graph_cache.hpp).
+  GraphCache cache(
+      [&plan](const JobSpec& job) { return build_graph_instance(plan, job); });
   for (const std::size_t index : pending) cache.expect(plan.jobs[index]);
 
   std::mutex mutex;
@@ -365,7 +325,16 @@ CampaignResult run_campaign(const CampaignPlan& plan,
     }
     const JobSpec& job = plan.jobs[pending[pending_index]];
     try {
-      const auto graph = cache.acquire(plan, job);
+      const GraphCache::Acquired acquired = cache.acquire(job);
+      const auto& graph = acquired.graph;
+      if (acquired.built_seconds >= 0.0 && journal) {
+        // Surface per-graph build time in the journal (note frames are
+        // telemetry: ignored on resume, absent from the jsonl/csv sinks).
+        std::lock_guard lock(mutex);
+        journal->note("graph " + GraphCache::key_for(job) + " name=" +
+                      graph->name() + " build_seconds=" +
+                      format_double(acquired.built_seconds));
+      }
       JobResult job_result = execute_job(plan, job, *graph);
       cache.release(job);
       std::lock_guard lock(mutex);

@@ -1,0 +1,73 @@
+// SPDX-License-Identifier: MIT
+#include "scenario/graph_cache.hpp"
+
+#include <utility>
+
+#include "scenario/registry.hpp"
+#include "util/stopwatch.hpp"
+
+namespace cobra::scenario {
+
+GraphCache::GraphCache(std::function<Graph(const JobSpec&)> build)
+    : build_(std::move(build)) {}
+
+std::string GraphCache::key_for(const JobSpec& job) {
+  return canonical_params(job.graph) + "#" + std::to_string(job.seed_index);
+}
+
+void GraphCache::expect(const JobSpec& job) {
+  std::lock_guard lock(mutex_);
+  ++uses_[key_for(job)];
+}
+
+GraphCache::Acquired GraphCache::acquire(const JobSpec& job) {
+  const std::string key = key_for(job);
+  std::promise<std::shared_ptr<const Graph>> promise;
+  Future future;
+  bool leader = false;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      future = it->second;
+    } else {
+      leader = true;
+      future = promise.get_future().share();
+      cache_.emplace(key, future);
+    }
+  }
+  if (!leader) {
+    // Single-flight waiter: blocks until the leader finishes; rethrows the
+    // leader's exception if the build failed.
+    return {future.get(), -1.0};
+  }
+  Stopwatch watch;
+  try {
+    auto built = std::make_shared<const Graph>(build_(job));
+    const double seconds = watch.seconds();
+    builds_.fetch_add(1, std::memory_order_relaxed);
+    promise.set_value(std::move(built));
+    return {future.get(), seconds};
+  } catch (...) {
+    // Clear the key first so a later acquire can retry, then fail every
+    // current waiter (they hold the future already).
+    {
+      std::lock_guard lock(mutex_);
+      cache_.erase(key);
+    }
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+}
+
+void GraphCache::release(const JobSpec& job) {
+  const std::string key = key_for(job);
+  std::lock_guard lock(mutex_);
+  const auto it = uses_.find(key);
+  if (it != uses_.end() && --it->second == 0) {
+    uses_.erase(it);
+    cache_.erase(key);
+  }
+}
+
+}  // namespace cobra::scenario

@@ -55,11 +55,35 @@ Graph file_graph(ParamReader& p, Rng&) {
   EdgeListOptions options;
   options.require_header = p.get_int("require_header", 0) != 0;
   options.dedup = p.get_int("dedup", 1) != 0;
+  // Binary CSR instances load directly (campaigns reuse one generated
+  // .cgr across runs instead of re-parsing or regenerating); detection is
+  // by extension or magic so an edge list named foo.cgr still errors
+  // loudly inside read_cgr rather than being misparsed.
+  if (std::string_view(path).ends_with(".cgr") || is_cgr_file(path)) {
+    try {
+      return read_cgr(path);
+    } catch (const std::invalid_argument& e) {
+      throw SpecError("graph family 'file': " + std::string(e.what()));
+    }
+  }
   std::ifstream in(path);
   if (!in) {
     throw SpecError("graph family 'file': cannot open '" + path + "'");
   }
   return read_edge_list(in, "file(" + path + ")", options);
+}
+
+/// (n, 2m) size prediction for estimate_graph_memory; expectation for
+/// random families.
+struct SizeEstimate {
+  std::uint64_t n = 0;
+  std::uint64_t endpoints = 0;
+};
+
+using GraphEstimator = SizeEstimate (*)(ParamReader&);
+
+SizeEstimate est_regular(std::uint64_t n, std::uint64_t r) {
+  return {n, n * r};
 }
 
 struct GraphFamily {
@@ -68,6 +92,9 @@ struct GraphFamily {
   /// the campaign planner validates spec keys against this list.
   const char* keys[4];
   GraphFactory build;
+  /// Size prediction for --dry-run memory estimates; nullptr = unknown
+  /// (family=file).
+  GraphEstimator estimate = nullptr;
 };
 
 const GraphFamily kGraphFamilies[] = {
@@ -76,46 +103,95 @@ const GraphFamily kGraphFamilies[] = {
      [](ParamReader& p, Rng& rng) {
        return gen::barabasi_albert(p.require_size("n"), p.require_size("attach"),
                                    rng);
+     },
+     [](ParamReader& p) -> SizeEstimate {
+       const std::uint64_t n = p.require_size("n");
+       const std::uint64_t a = p.require_size("attach");
+       if (n < a + 1) return {n, 0};
+       return {n, a * (a + 1) + 2 * (n - a - 1) * a};
      }},
     {"barbell",
      {"clique", "bridge"},
      [](ParamReader& p, Rng&) {
        return gen::barbell(p.require_size("clique"), p.require_size("bridge"));
+     },
+     [](ParamReader& p) -> SizeEstimate {
+       const std::uint64_t c = p.require_size("clique");
+       const std::uint64_t b = p.require_size("bridge");
+       return {2 * c + b, 2 * (c * (c - 1) + b + 1)};
      }},
     {"binary_tree",
      {"levels"},
      [](ParamReader& p, Rng&) {
        return gen::binary_tree(p.require_size("levels"));
+     },
+     [](ParamReader& p) -> SizeEstimate {
+       const std::uint64_t n =
+           (std::uint64_t{1} << std::min<std::size_t>(p.require_size("levels"),
+                                                      62)) -
+           1;
+       return {n, n > 0 ? 2 * (n - 1) : 0};
      }},
     {"circulant",
      {"n", "offsets"},
      [](ParamReader& p, Rng&) {
        return gen::circulant(p.require_size("n"),
                              to_u32(p.require_size_list("offsets")));
+     },
+     [](ParamReader& p) -> SizeEstimate {
+       const std::uint64_t n = p.require_size("n");
+       std::uint64_t edges = 0;
+       for (const std::size_t s : p.require_size_list("offsets")) {
+         edges += (2 * s == n) ? n / 2 : n;
+       }
+       return {n, 2 * edges};
      }},
     {"complete",
      {"n"},
-     [](ParamReader& p, Rng&) { return gen::complete(p.require_size("n")); }},
+     [](ParamReader& p, Rng&) { return gen::complete(p.require_size("n")); },
+     [](ParamReader& p) -> SizeEstimate {
+       const std::uint64_t n = p.require_size("n");
+       return {n, n * (n - 1)};
+     }},
     {"complete_bipartite",
      {"a", "b"},
      [](ParamReader& p, Rng&) {
        return gen::complete_bipartite(p.require_size("a"),
                                       p.require_size("b"));
+     },
+     [](ParamReader& p) -> SizeEstimate {
+       const std::uint64_t a = p.require_size("a");
+       const std::uint64_t b = p.require_size("b");
+       return {a + b, 2 * a * b};
      }},
     {"connected_random_regular",
      {"n", "r"},
      [](ParamReader& p, Rng& rng) {
        return gen::connected_random_regular(p.require_size("n"),
                                             p.require_size("r"), rng);
+     },
+     [](ParamReader& p) -> SizeEstimate {
+       return est_regular(p.require_size("n"), p.require_size("r"));
      }},
     {"cycle",
      {"n"},
-     [](ParamReader& p, Rng&) { return gen::cycle(p.require_size("n")); }},
+     [](ParamReader& p, Rng&) { return gen::cycle(p.require_size("n")); },
+     [](ParamReader& p) -> SizeEstimate {
+       const std::uint64_t n = p.require_size("n");
+       return {n, 2 * n};
+     }},
     {"erdos_renyi",
      {"n", "p"},
      [](ParamReader& p, Rng& rng) {
        return gen::erdos_renyi(p.require_size("n"), p.require_double("p"),
                                rng);
+     },
+     [](ParamReader& p) -> SizeEstimate {
+       const std::uint64_t n = p.require_size("n");
+       const double prob = p.require_double("p");
+       const double pairs = 0.5 * static_cast<double>(n) *
+                            static_cast<double>(n > 0 ? n - 1 : 0);
+       return {n, static_cast<std::uint64_t>(2.0 * prob * pairs)};
      }},
     {"file", {"file", "require_header", "dedup"}, file_graph},
     {"generalized_petersen",
@@ -123,42 +199,108 @@ const GraphFamily kGraphFamilies[] = {
      [](ParamReader& p, Rng&) {
        return gen::generalized_petersen(p.require_size("n"),
                                         p.require_size("k"));
+     },
+     [](ParamReader& p) -> SizeEstimate {
+       const std::uint64_t n = p.require_size("n");
+       p.require_size("k");
+       return {2 * n, 6 * n};
      }},
     {"grid",
      {"dims", "periodic"},
      [](ParamReader& p, Rng&) {
        return gen::grid(p.require_size_list("dims"),
                         p.get_int("periodic", 0) != 0);
+     },
+     [](ParamReader& p) -> SizeEstimate {
+       const auto dims = p.require_size_list("dims");
+       const bool periodic = p.get_int("periodic", 0) != 0;
+       std::uint64_t n = 1;
+       for (const std::size_t side : dims) n *= side;
+       std::uint64_t edges = 0;
+       for (const std::size_t side : dims) {
+         if (side == 0) return {0, 0};
+         edges += periodic ? n : n - n / side;
+       }
+       return {n, 2 * edges};
      }},
     {"hypercube",
      {"d"},
-     [](ParamReader& p, Rng&) { return gen::hypercube(p.require_size("d")); }},
+     [](ParamReader& p, Rng&) { return gen::hypercube(p.require_size("d")); },
+     [](ParamReader& p) -> SizeEstimate {
+       const std::uint64_t d = std::min<std::size_t>(p.require_size("d"), 62);
+       const std::uint64_t n = std::uint64_t{1} << d;
+       return {n, n * d};
+     }},
     {"kneser",
      {"n_set", "k_subset"},
      [](ParamReader& p, Rng&) {
        return gen::kneser(p.require_size("n_set"),
                           p.require_size("k_subset"));
+     },
+     [](ParamReader& p) -> SizeEstimate {
+       const std::uint64_t ns = p.require_size("n_set");
+       const std::uint64_t k = p.require_size("k_subset");
+       const auto binom = [](std::uint64_t nn, std::uint64_t kk) {
+         if (kk > nn) return std::uint64_t{0};
+         double acc = 1.0;
+         for (std::uint64_t i = 0; i < kk; ++i) {
+           acc *= static_cast<double>(nn - i) / static_cast<double>(i + 1);
+           if (acc > 1e18) return std::uint64_t{1} << 62;
+         }
+         return static_cast<std::uint64_t>(acc);
+       };
+       const std::uint64_t n = binom(ns, k);
+       return {n, n * binom(ns - k, k)};
      }},
     {"lollipop",
      {"clique", "path"},
      [](ParamReader& p, Rng&) {
        return gen::lollipop(p.require_size("clique"), p.require_size("path"));
+     },
+     [](ParamReader& p) -> SizeEstimate {
+       const std::uint64_t c = p.require_size("clique");
+       const std::uint64_t path = p.require_size("path");
+       return {c + path, c * (c - 1) + 2 * path};
      }},
     {"margulis",
      {"m"},
-     [](ParamReader& p, Rng&) { return gen::margulis(p.require_size("m")); }},
+     [](ParamReader& p, Rng&) { return gen::margulis(p.require_size("m")); },
+     [](ParamReader& p) -> SizeEstimate {
+       // Template upper bound: 8 half-edges per vertex before loop and
+       // coincidence drops.
+       const std::uint64_t m = p.require_size("m");
+       return {m * m, 8 * m * m};
+     }},
     {"paley",
      {"q"},
-     [](ParamReader& p, Rng&) { return gen::paley(p.require_size("q")); }},
+     [](ParamReader& p, Rng&) { return gen::paley(p.require_size("q")); },
+     [](ParamReader& p) -> SizeEstimate {
+       const std::uint64_t q = p.require_size("q");
+       return {q, q > 0 ? q * ((q - 1) / 2) : 0};
+     }},
     {"path",
      {"n"},
-     [](ParamReader& p, Rng&) { return gen::path(p.require_size("n")); }},
-    {"petersen", {}, [](ParamReader&, Rng&) { return gen::petersen(); }},
+     [](ParamReader& p, Rng&) { return gen::path(p.require_size("n")); },
+     [](ParamReader& p) -> SizeEstimate {
+       const std::uint64_t n = p.require_size("n");
+       return {n, n > 0 ? 2 * (n - 1) : 0};
+     }},
+    {"petersen", {}, [](ParamReader&, Rng&) { return gen::petersen(); },
+     [](ParamReader&) -> SizeEstimate { return {10, 30}; }},
     {"random_geometric",
      {"n", "radius"},
      [](ParamReader& p, Rng& rng) {
        return gen::random_geometric(p.require_size("n"),
                                     p.require_double("radius"), rng);
+     },
+     [](ParamReader& p) -> SizeEstimate {
+       const std::uint64_t n = p.require_size("n");
+       const double radius = p.require_double("radius");
+       const double pairs = 0.5 * static_cast<double>(n) *
+                            static_cast<double>(n > 0 ? n - 1 : 0);
+       const double pi = 3.14159265358979323846;
+       return {n, static_cast<std::uint64_t>(2.0 * pairs * pi * radius *
+                                             radius)};
      }},
     {"random_regular",
      {"n", "r", "connected"},
@@ -170,20 +312,39 @@ const GraphFamily kGraphFamilies[] = {
        }
        return gen::random_regular(p.require_size("n"), p.require_size("r"),
                                   rng);
+     },
+     [](ParamReader& p) -> SizeEstimate {
+       return est_regular(p.require_size("n"), p.require_size("r"));
      }},
     {"star",
      {"n"},
-     [](ParamReader& p, Rng&) { return gen::star(p.require_size("n")); }},
+     [](ParamReader& p, Rng&) { return gen::star(p.require_size("n")); },
+     [](ParamReader& p) -> SizeEstimate {
+       const std::uint64_t n = p.require_size("n");
+       return {n, n > 0 ? 2 * (n - 1) : 0};
+     }},
     {"torus",
      {"dims"},
      [](ParamReader& p, Rng&) {
        return gen::torus(p.require_size_list("dims"));
+     },
+     [](ParamReader& p) -> SizeEstimate {
+       const auto dims = p.require_size_list("dims");
+       std::uint64_t n = 1;
+       for (const std::size_t side : dims) n *= side;
+       return {n, 2 * n * dims.size()};
      }},
     {"watts_strogatz",
      {"n", "k", "beta"},
      [](ParamReader& p, Rng& rng) {
        return gen::watts_strogatz(p.require_size("n"), p.require_size("k"),
                                   p.require_double("beta"), rng);
+     },
+     [](ParamReader& p) -> SizeEstimate {
+       const std::uint64_t n = p.require_size("n");
+       const std::uint64_t k = p.require_size("k");
+       p.get_double("beta", 0.0);  // rewiring preserves the edge count
+       return {n, n * k};
      }},
 };
 
@@ -229,6 +390,30 @@ Graph build_graph(const ParamMap& params, Rng& rng) {
   Graph g = family->build(reader, rng);
   reader.finish();
   return g;
+}
+
+GraphMemoryEstimate estimate_graph_memory(const ParamMap& params) {
+  GraphMemoryEstimate out;
+  const std::string* family_name = find_param(params, "family");
+  if (family_name == nullptr) return out;
+  const GraphFamily* family = find_family(*family_name);
+  if (family == nullptr || family->estimate == nullptr) return out;
+  SizeEstimate size;
+  try {
+    ParamReader reader(params, "estimate '" + *family_name + "'");
+    reader.require("family");
+    size = family->estimate(reader);
+    // No reader.finish(): estimators only read the keys that determine
+    // size; leftover keys are the planner's concern, not the estimate's.
+  } catch (const SpecError&) {
+    return out;  // malformed values surface when the job actually runs
+  }
+  out.known = true;
+  out.n = size.n;
+  out.endpoints = size.endpoints;
+  out.offset_bytes = csr_offsets_fit_32bit(size.endpoints) ? 4 : 8;
+  out.csr_bytes = (size.n + 1) * out.offset_bytes + size.endpoints * 4;
+  return out;
 }
 
 bool graph_family_has_param(std::string_view family, std::string_view key) {

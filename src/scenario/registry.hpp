@@ -60,6 +60,22 @@ std::vector<std::string> graph_family_param_keys(std::string_view family);
 /// unknown family, missing/malformed parameters, or unknown keys.
 Graph build_graph(const ParamMap& params, Rng& rng);
 
+/// Pre-build memory estimate for a resolved [graph] parameter set — what
+/// scenario_runner --dry-run prints per job so an overnight campaign can
+/// be sanity-checked against available RAM before launch. For random
+/// families the edge count is the expectation; margulis reports its
+/// template upper bound. known=false for family=file (size unknowable
+/// without reading the file) and for malformed parameter values (the
+/// actual run reports those as errors).
+struct GraphMemoryEstimate {
+  bool known = false;
+  std::uint64_t n = 0;          ///< vertex count
+  std::uint64_t endpoints = 0;  ///< 2m (adjacency entries)
+  std::size_t offset_bytes = 0; ///< 4 or 8 — the width-adaptive selection
+  std::uint64_t csr_bytes = 0;  ///< (n+1)*offset_bytes + endpoints*4
+};
+GraphMemoryEstimate estimate_graph_memory(const ParamMap& params);
+
 // ---- processes ----
 //
 // Thin veneer over the unified factory: identical semantics, but every

@@ -287,4 +287,8 @@ void Journal::append(std::size_t index, const JobResult& result) {
        << std::flush;
 }
 
+void Journal::note(const std::string& text) {
+  out_ << "note " << text << '\n' << std::flush;
+}
+
 }  // namespace cobra::scenario

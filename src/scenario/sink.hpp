@@ -55,6 +55,11 @@ class Journal {
   /// serialize (the campaign runner appends under its results mutex).
   void append(std::size_t index, const JobResult& result);
 
+  /// Appends a free-form telemetry frame ("note <text>") and flushes —
+  /// e.g. per-graph build times. Note frames are skipped by the resume
+  /// parser and dropped on rewrite; they never affect campaign results.
+  void note(const std::string& text);
+
  private:
   std::ofstream out_;
   std::map<std::size_t, JobResult> restored_;

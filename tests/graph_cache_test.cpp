@@ -1,0 +1,160 @@
+// SPDX-License-Identifier: MIT
+//
+// Single-flight GraphCache regression tests: concurrent misses on one key
+// must perform exactly one build (the pre-refactor cache raced duplicate
+// builds and discarded all but one), failures must propagate to every
+// waiter, and use-count release must evict so memory doesn't accumulate
+// across a sweep.
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "scenario/graph_cache.hpp"
+
+namespace cobra::scenario {
+namespace {
+
+JobSpec job_with_key(const std::string& n_value, std::uint64_t seed_index) {
+  JobSpec job;
+  job.graph = {{"family", "cycle"}, {"n", n_value}};
+  job.seed_index = seed_index;
+  return job;
+}
+
+/// Spins until `arrived` reaches `expected` — the build-side gate that
+/// keeps the leader's flight open until every contender has reached (or
+/// is microseconds from) acquire(), making the build-count assertions
+/// robust on loaded single-core runners where thread spawn can outlast
+/// any fixed sleep.
+void await_arrivals(const std::atomic<int>& arrived, int expected) {
+  while (arrived.load() < expected) std::this_thread::yield();
+  // Cover the increment -> acquire() window of the slowest contender.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+}
+
+TEST(GraphCache, SingleFlightUnderContention) {
+  constexpr int kThreads = 8;
+  std::atomic<int> invocations{0};
+  std::atomic<int> arrived{0};
+  GraphCache cache([&](const JobSpec&) {
+    invocations.fetch_add(1);
+    await_arrivals(arrived, kThreads);
+    return gen::cycle(64);
+  });
+  const JobSpec job = job_with_key("64", 0);
+  for (int i = 0; i < kThreads; ++i) cache.expect(job);
+
+  std::vector<std::shared_ptr<const Graph>> seen(kThreads);
+  std::vector<int> built_count(kThreads, 0);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+      threads.emplace_back([&, i] {
+        arrived.fetch_add(1);
+        const GraphCache::Acquired acquired = cache.acquire(job);
+        seen[i] = acquired.graph;
+        built_count[i] = acquired.built_seconds >= 0.0 ? 1 : 0;
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+
+  // Exactly one build happened; every thread shares the same instance.
+  EXPECT_EQ(invocations.load(), 1);
+  EXPECT_EQ(cache.builds(), 1u);
+  int builders = 0;
+  for (int i = 0; i < kThreads; ++i) {
+    ASSERT_NE(seen[i], nullptr);
+    EXPECT_EQ(seen[i].get(), seen[0].get());
+    builders += built_count[i];
+  }
+  EXPECT_EQ(builders, 1);  // build_seconds reported exactly once
+}
+
+TEST(GraphCache, ReleaseEvictsAndRebuilds) {
+  std::atomic<int> invocations{0};
+  GraphCache cache([&invocations](const JobSpec&) {
+    invocations.fetch_add(1);
+    return gen::cycle(32);
+  });
+  const JobSpec job = job_with_key("32", 1);
+  cache.expect(job);
+  cache.expect(job);
+  EXPECT_GE(cache.acquire(job).built_seconds, 0.0);
+  EXPECT_LT(cache.acquire(job).built_seconds, 0.0);  // hit, no rebuild
+  EXPECT_EQ(invocations.load(), 1);
+  cache.release(job);
+  EXPECT_LT(cache.acquire(job).built_seconds, 0.0);  // still cached
+  cache.release(job);
+  // Last release evicted; the next acquire rebuilds.
+  cache.expect(job);
+  EXPECT_GE(cache.acquire(job).built_seconds, 0.0);
+  EXPECT_EQ(invocations.load(), 2);
+  EXPECT_EQ(cache.builds(), 2u);
+}
+
+TEST(GraphCache, DistinctKeysBuildIndependently) {
+  GraphCache cache([](const JobSpec& job) {
+    return gen::cycle(job.seed_index == 0 ? 16 : 24);
+  });
+  const JobSpec a = job_with_key("16", 0);
+  const JobSpec b = job_with_key("16", 1);  // same params, different seed axis
+  cache.expect(a);
+  cache.expect(b);
+  const auto ga = cache.acquire(a).graph;
+  const auto gb = cache.acquire(b).graph;
+  EXPECT_NE(ga.get(), gb.get());
+  EXPECT_EQ(cache.builds(), 2u);
+  EXPECT_NE(GraphCache::key_for(a), GraphCache::key_for(b));
+}
+
+TEST(GraphCache, BuildFailurePropagatesToAllWaitersAndAllowsRetry) {
+  constexpr int kThreads = 4;
+  std::atomic<int> invocations{0};
+  std::atomic<int> arrived{0};
+  GraphCache cache([&](const JobSpec&) -> Graph {
+    const int call = invocations.fetch_add(1);
+    if (call == 0) {
+      // Hold the failing flight open until every contender is inside it.
+      await_arrivals(arrived, kThreads);
+      throw std::runtime_error("transient build failure");
+    }
+    return gen::cycle(16);
+  });
+  const JobSpec job = job_with_key("16", 2);
+  for (int i = 0; i < kThreads; ++i) cache.expect(job);
+
+  std::atomic<int> failures{0};
+  {
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kThreads; ++i) {
+      threads.emplace_back([&] {
+        arrived.fetch_add(1);
+        try {
+          cache.acquire(job);
+        } catch (const std::runtime_error&) {
+          failures.fetch_add(1);
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+  // Everyone in the failing flight saw the failure (single-flight:
+  // exactly one build attempt), and the key was cleared for retry.
+  EXPECT_EQ(invocations.load(), 1);
+  EXPECT_EQ(failures.load(), kThreads);
+  EXPECT_EQ(cache.builds(), 0u);
+  const GraphCache::Acquired retried = cache.acquire(job);
+  EXPECT_NE(retried.graph, nullptr);
+  EXPECT_GE(retried.built_seconds, 0.0);
+  EXPECT_EQ(cache.builds(), 1u);
+}
+
+}  // namespace
+}  // namespace cobra::scenario

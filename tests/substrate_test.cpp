@@ -1,0 +1,410 @@
+// SPDX-License-Identifier: MIT
+//
+// Tests for the scalable graph substrate: width-adaptive CSR invariants,
+// the bucketized parallel assembly (vs the legacy sort-based serial
+// oracle), deterministic parallel generators (thread-count independence
+// and parity against the *_serial legacy generators), and the binary .cgr
+// format (round trips and corrupt-file rejection).
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+#include "rand/rng.hpp"
+
+namespace cobra {
+namespace {
+
+/// Structural equality: same vertex count and identical sorted
+/// neighbourhoods (offset representation may differ in width).
+::testing::AssertionResult GraphsIdentical(const Graph& a, const Graph& b) {
+  if (a.num_vertices() != b.num_vertices()) {
+    return ::testing::AssertionFailure()
+           << "vertex counts differ: " << a.num_vertices() << " vs "
+           << b.num_vertices();
+  }
+  if (a.num_edges() != b.num_edges()) {
+    return ::testing::AssertionFailure()
+           << "edge counts differ: " << a.num_edges() << " vs "
+           << b.num_edges();
+  }
+  for (Vertex v = 0; v < a.num_vertices(); ++v) {
+    const auto na = a.neighbors(v);
+    const auto nb = b.neighbors(v);
+    if (na.size() != nb.size() ||
+        !std::equal(na.begin(), na.end(), nb.begin())) {
+      return ::testing::AssertionFailure()
+             << "neighbourhoods differ at vertex " << v;
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+void ExpectCsrInvariants(const Graph& g) {
+  // Offset monotonicity, bracketed by [0, 2m].
+  ASSERT_EQ(g.offset(0), 0u);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_LE(g.offset(v), g.offset(v + 1));
+  }
+  EXPECT_EQ(g.offset(static_cast<Vertex>(g.num_vertices())),
+            g.adjacency().size());
+  // Strictly sorted (no duplicates), loop-free, in-range neighbourhoods.
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      EXPECT_LT(nbrs[i], g.num_vertices());
+      EXPECT_NE(nbrs[i], v);
+      if (i > 0) EXPECT_LT(nbrs[i - 1], nbrs[i]);
+    }
+  }
+}
+
+/// Restores the default build parallelism when a test ends.
+struct ThreadGuard {
+  ~ThreadGuard() { GraphBuilder::set_default_threads(0); }
+};
+
+std::string temp_path(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+// ---- width-adaptive offsets ----
+
+TEST(CompactCsr, WidthSelectionBoundary) {
+  // The 32/64-bit selection is a pure function of 2m; the boundary sits
+  // exactly at 2^32 endpoints (16 GiB of adjacency — exercised via the
+  // predicate, not a real allocation).
+  EXPECT_TRUE(csr_offsets_fit_32bit(0));
+  EXPECT_TRUE(csr_offsets_fit_32bit((1ull << 32) - 1));
+  EXPECT_TRUE(csr_offsets_fit_32bit(1ull << 32) ==
+              false);  // first wide value
+  EXPECT_FALSE(csr_offsets_fit_32bit((1ull << 32) + 1));
+}
+
+TEST(CompactCsr, SmallGraphsUseNarrowOffsets) {
+  Rng rng(3);
+  const Graph g = gen::random_regular(512, 8, rng);
+  EXPECT_FALSE(g.offsets_are_wide());
+  EXPECT_EQ(g.offset_bytes(), 4u);
+  EXPECT_EQ(g.offsets32().size(), g.num_vertices() + 1);
+  EXPECT_TRUE(g.offsets64().empty());
+  EXPECT_EQ(g.memory_bytes(),
+            (g.num_vertices() + 1) * 4 + g.adjacency().size() * 4);
+}
+
+TEST(CompactCsr, SizeTConstructorNarrows) {
+  // The legacy-style constructor narrows transparently when 2m < 2^32.
+  std::vector<std::size_t> offsets{0, 1, 2};
+  std::vector<Vertex> adjacency{1, 0};
+  const Graph g(std::move(offsets), std::move(adjacency), "edge");
+  EXPECT_FALSE(g.offsets_are_wide());
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+}
+
+// ---- parallel assembly vs the serial oracle ----
+
+TEST(ParallelBuild, MatchesSerialOracleOnRandomEdgeSets) {
+  ThreadGuard guard;
+  for (const std::uint64_t seed : {11ull, 22ull, 33ull}) {
+    Rng rng(seed);
+    const std::size_t n = 2000;
+    std::vector<std::pair<Vertex, Vertex>> edges;
+    for (std::size_t i = 0; i < 6000; ++i) {
+      const auto u = static_cast<Vertex>(rng.next_below(n));
+      const auto v = static_cast<Vertex>(rng.next_below(n));
+      if (u != v) edges.emplace_back(u, v);
+    }
+    GraphBuilder parallel_builder(n);
+    GraphBuilder serial_builder(n);
+    for (const auto& [u, v] : edges) {
+      parallel_builder.add_edge(u, v);
+      serial_builder.add_edge(u, v);
+    }
+    GraphBuilder::set_default_threads(4);
+    const Graph parallel = parallel_builder.build_dedup("p");
+    const Graph serial = serial_builder.build_dedup_serial("s");
+    EXPECT_TRUE(GraphsIdentical(parallel, serial));
+    ExpectCsrInvariants(parallel);
+  }
+}
+
+TEST(ParallelBuild, DuplicateThrowsWithSameMessageAsSerial) {
+  const auto queue_edges = [](GraphBuilder& builder) {
+    builder.add_edge(5, 9);
+    builder.add_edge(2, 3);
+    builder.add_edge(9, 5);  // duplicate of {5,9}
+    builder.add_edge(1, 7);
+  };
+  GraphBuilder parallel_builder(12);
+  GraphBuilder serial_builder(12);
+  queue_edges(parallel_builder);
+  queue_edges(serial_builder);
+  std::string parallel_message;
+  std::string serial_message;
+  try {
+    parallel_builder.build("dup");
+  } catch (const std::invalid_argument& e) {
+    parallel_message = e.what();
+  }
+  try {
+    serial_builder.build_serial("dup");
+  } catch (const std::invalid_argument& e) {
+    serial_message = e.what();
+  }
+  ASSERT_FALSE(parallel_message.empty());
+  EXPECT_EQ(parallel_message, serial_message);
+}
+
+TEST(ParallelBuild, BuildSimpleEdgesRejectsDuplicates) {
+  EXPECT_THROW(build_simple_edges(4, {{0, 1}, {1, 0}}, "dup"),
+               std::invalid_argument);
+  const Graph g = build_simple_edges(4, {{0, 1}, {2, 3}}, "ok");
+  EXPECT_EQ(g.num_edges(), 2u);
+  ExpectCsrInvariants(g);
+}
+
+TEST(ParallelBuild, AddEdgesChunkedValidatesAndKeepsEmitOrderSemantics) {
+  ThreadGuard guard;
+  // Validation: the first offending emitted edge is reported.
+  GraphBuilder bad(8);
+  EXPECT_THROW(
+      bad.add_edges_chunked(4,
+                            [](std::size_t begin, std::size_t end,
+                               std::vector<std::pair<Vertex, Vertex>>& out) {
+                              for (std::size_t i = begin; i < end; ++i) {
+                                out.emplace_back(static_cast<Vertex>(i),
+                                                 static_cast<Vertex>(i));
+                              }
+                            }),
+      std::invalid_argument);
+  // Equivalence with serial add_edge under any thread count.
+  const auto emit = [](std::size_t begin, std::size_t end,
+                       std::vector<std::pair<Vertex, Vertex>>& out) {
+    for (std::size_t i = begin; i < end; ++i) {
+      out.emplace_back(static_cast<Vertex>(i),
+                       static_cast<Vertex>((i + 1) % 100000));
+    }
+  };
+  GraphBuilder::set_default_threads(8);
+  GraphBuilder chunked(100000);
+  chunked.add_edges_chunked(100000, emit);
+  const Graph a = chunked.build("ring");
+  GraphBuilder plain(100000);
+  for (std::size_t i = 0; i < 100000; ++i) {
+    plain.add_edge(static_cast<Vertex>(i),
+                   static_cast<Vertex>((i + 1) % 100000));
+  }
+  const Graph b = plain.build_serial("ring");
+  EXPECT_TRUE(GraphsIdentical(a, b));
+}
+
+// ---- generator parity vs legacy serial oracles (3 families x 3 seeds) ----
+
+TEST(GeneratorParity, RandomRegularBitwiseAcrossSeeds) {
+  ThreadGuard guard;
+  GraphBuilder::set_default_threads(4);
+  for (const std::uint64_t seed : {1ull, 42ull, 20260729ull}) {
+    Rng parallel_rng(seed);
+    Rng serial_rng(seed);
+    const Graph parallel = gen::random_regular(1024, 8, parallel_rng);
+    const Graph serial = gen::random_regular_serial(1024, 8, serial_rng);
+    EXPECT_TRUE(GraphsIdentical(parallel, serial)) << "seed " << seed;
+    // The sampling loops must consume the RNG identically too.
+    EXPECT_EQ(parallel_rng.state(), serial_rng.state()) << "seed " << seed;
+    ExpectCsrInvariants(parallel);
+  }
+}
+
+TEST(GeneratorParity, LatticesBitwise) {
+  ThreadGuard guard;
+  GraphBuilder::set_default_threads(8);
+  for (const std::size_t side : {9ull, 33ull, 64ull}) {
+    EXPECT_TRUE(GraphsIdentical(gen::torus({side, side}),
+                                gen::grid_serial({side, side}, true)));
+    EXPECT_TRUE(GraphsIdentical(gen::grid({side, 7}, false),
+                                gen::grid_serial({side, 7}, false)));
+  }
+  EXPECT_TRUE(GraphsIdentical(gen::hypercube(11), gen::hypercube_serial(11)));
+}
+
+TEST(GeneratorParity, ErdosRenyiDistributionalOracle) {
+  // The chunked G(n,p) sampler is a restructured sampling scheme, so the
+  // oracle is distributional: expected edge count against the legacy
+  // single-stream sampler, plus exact extremes.
+  ThreadGuard guard;
+  GraphBuilder::set_default_threads(4);
+  const std::size_t n = 4096;
+  const double p = 8.0 / static_cast<double>(n);
+  double parallel_total = 0;
+  double serial_total = 0;
+  const int reps = 12;
+  for (int i = 0; i < reps; ++i) {
+    Rng pr(100 + i);
+    Rng sr(100 + i);
+    parallel_total += static_cast<double>(gen::erdos_renyi(n, p, pr).num_edges());
+    serial_total +=
+        static_cast<double>(gen::erdos_renyi_serial(n, p, sr).num_edges());
+  }
+  const double expected = p * static_cast<double>(n) *
+                          static_cast<double>(n - 1) / 2.0;
+  EXPECT_NEAR(parallel_total / reps, expected, expected * 0.05);
+  EXPECT_NEAR(serial_total / reps, expected, expected * 0.05);
+  Rng rng(7);
+  EXPECT_EQ(gen::erdos_renyi(32, 0.0, rng).num_edges(), 0u);
+  EXPECT_EQ(gen::erdos_renyi(32, 1.0, rng).num_edges(), 32u * 31 / 2);
+}
+
+// ---- thread-count independence ----
+
+TEST(GeneratorDeterminism, IdenticalAcross1And2And8Threads) {
+  ThreadGuard guard;
+  const auto build_all = [](std::size_t threads) {
+    GraphBuilder::set_default_threads(threads);
+    std::vector<Graph> graphs;
+    Rng r1(5);
+    graphs.push_back(gen::random_regular(1024, 8, r1));
+    Rng r2(6);
+    graphs.push_back(gen::erdos_renyi(60000, 8.0 / 60000.0, r2));
+    graphs.push_back(gen::torus({48, 48}));
+    graphs.push_back(gen::hypercube(12));
+    return graphs;
+  };
+  const auto base = build_all(1);
+  for (const std::size_t threads : {2ull, 8ull}) {
+    const auto other = build_all(threads);
+    ASSERT_EQ(base.size(), other.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      EXPECT_TRUE(GraphsIdentical(base[i], other[i]))
+          << "graph " << i << " with " << threads << " threads";
+    }
+  }
+}
+
+// ---- binary .cgr format ----
+
+TEST(BinaryFormat, RoundTripPreservesStructureAndName) {
+  Rng rng(9);
+  const Graph g = gen::erdos_renyi(500, 0.02, rng);
+  const std::string path = temp_path("roundtrip.cgr");
+  write_cgr(g, path);
+  EXPECT_TRUE(is_cgr_file(path));
+  const Graph back = read_cgr(path);
+  EXPECT_EQ(back.name(), g.name());
+  EXPECT_TRUE(GraphsIdentical(g, back));
+  EXPECT_EQ(back.offsets_are_wide(), g.offsets_are_wide());
+  // Name override.
+  const Graph renamed = read_cgr(path, "renamed");
+  EXPECT_EQ(renamed.name(), "renamed");
+  std::remove(path.c_str());
+}
+
+TEST(BinaryFormat, RoundTripEmptyAndIrregular) {
+  const std::string path = temp_path("tiny.cgr");
+  {
+    GraphBuilder builder(5);
+    builder.add_edge(0, 4);
+    const Graph g = builder.build("tiny");
+    write_cgr(g, path);
+    EXPECT_TRUE(GraphsIdentical(g, read_cgr(path)));
+  }
+  {
+    const Graph empty = GraphBuilder(0).build("empty");
+    write_cgr(empty, path);
+    const Graph back = read_cgr(path);
+    EXPECT_EQ(back.num_vertices(), 0u);
+    EXPECT_EQ(back.num_edges(), 0u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BinaryFormat, RejectsBadMagicTruncationAndCorruption) {
+  Rng rng(10);
+  const Graph g = gen::random_regular(64, 4, rng);
+  const std::string path = temp_path("victim.cgr");
+  write_cgr(g, path);
+
+  // Baseline loads fine.
+  EXPECT_NO_THROW(read_cgr(path));
+
+  const auto read_bytes = [&path]() {
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<char>((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  };
+  const auto write_bytes = [](const std::string& p,
+                              const std::vector<char>& bytes) {
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  };
+  const std::vector<char> original = read_bytes();
+
+  // Bad magic.
+  {
+    std::vector<char> bytes = original;
+    bytes[0] = 'X';
+    const std::string bad = temp_path("bad_magic.cgr");
+    write_bytes(bad, bytes);
+    EXPECT_FALSE(is_cgr_file(bad));
+    EXPECT_THROW(read_cgr(bad), std::invalid_argument);
+    std::remove(bad.c_str());
+  }
+  // Unsupported version.
+  {
+    std::vector<char> bytes = original;
+    bytes[8] = 99;
+    const std::string bad = temp_path("bad_version.cgr");
+    write_bytes(bad, bytes);
+    EXPECT_THROW(read_cgr(bad), std::invalid_argument);
+    std::remove(bad.c_str());
+  }
+  // Truncation (drop the tail).
+  {
+    std::vector<char> bytes = original;
+    bytes.resize(bytes.size() - 16);
+    const std::string bad = temp_path("truncated.cgr");
+    write_bytes(bad, bytes);
+    EXPECT_THROW(read_cgr(bad), std::invalid_argument);
+    std::remove(bad.c_str());
+  }
+  // Header truncation (shorter than the fixed fields).
+  {
+    std::vector<char> bytes(original.begin(), original.begin() + 20);
+    const std::string bad = temp_path("stub.cgr");
+    write_bytes(bad, bytes);
+    EXPECT_THROW(read_cgr(bad), std::invalid_argument);
+    std::remove(bad.c_str());
+  }
+  // Corrupt adjacency (out-of-range neighbour) — flip the last entry.
+  {
+    std::vector<char> bytes = original;
+    const std::size_t last_entry = bytes.size() - 4;
+    bytes[last_entry] = static_cast<char>(0xFF);
+    bytes[last_entry + 1] = static_cast<char>(0xFF);
+    bytes[last_entry + 2] = static_cast<char>(0xFF);
+    bytes[last_entry + 3] = static_cast<char>(0x7F);
+    const std::string bad = temp_path("corrupt_adj.cgr");
+    write_bytes(bad, bytes);
+    EXPECT_THROW(read_cgr(bad), std::invalid_argument);
+    std::remove(bad.c_str());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BinaryFormat, MissingFileThrows) {
+  EXPECT_THROW(read_cgr(temp_path("does_not_exist.cgr")),
+               std::invalid_argument);
+  EXPECT_FALSE(is_cgr_file(temp_path("does_not_exist.cgr")));
+}
+
+}  // namespace
+}  // namespace cobra

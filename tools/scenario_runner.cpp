@@ -29,6 +29,21 @@ namespace {
 using namespace cobra;
 using namespace cobra::scenario;
 
+std::string human_bytes(std::uint64_t bytes) {
+  char buf[64];
+  if (bytes >= (std::uint64_t{1} << 30)) {
+    std::snprintf(buf, sizeof buf, "%.2fGiB",
+                  static_cast<double>(bytes) / (1ull << 30));
+  } else if (bytes >= (std::uint64_t{1} << 20)) {
+    std::snprintf(buf, sizeof buf, "%.1fMiB",
+                  static_cast<double>(bytes) / (1ull << 20));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1fKiB",
+                  static_cast<double>(bytes) / (1ull << 10));
+  }
+  return buf;
+}
+
 /// Output stem fallback: the spec filename without directory or extension.
 std::string default_stem(const std::string& path) {
   const std::size_t slash = path.find_last_of("/\\");
@@ -141,11 +156,40 @@ int main(int argc, char** argv) {
                   plan.name.c_str(), plan.jobs.size(), plan.trials,
                   static_cast<unsigned long long>(plan.base_seed),
                   plan.output.c_str());
+      // Per-job estimated peak graph memory (n, 2m, offset width) so an
+      // overnight campaign can be sanity-checked against RAM up front.
+      GraphMemoryEstimate peak;
+      std::size_t peak_job = 0;
+      bool any_unknown = false;
       for (const JobSpec& job : plan.jobs) {
-        std::printf("  job %zu seed=%llu graph{%s} process{%s}\n", job.index,
+        const GraphMemoryEstimate est = estimate_graph_memory(job.graph);
+        std::printf("  job %zu seed=%llu graph{%s} process{%s}", job.index,
                     static_cast<unsigned long long>(job.seed_index),
                     canonical_params(job.graph).c_str(),
                     canonical_params(job.process).c_str());
+        if (est.known) {
+          std::printf(" mem~%s (n=%llu, 2m=%llu, offsets=%zu-bit)\n",
+                      human_bytes(est.csr_bytes).c_str(),
+                      static_cast<unsigned long long>(est.n),
+                      static_cast<unsigned long long>(est.endpoints),
+                      est.offset_bytes * 8);
+          if (est.csr_bytes > peak.csr_bytes) {
+            peak = est;
+            peak_job = job.index;
+          }
+        } else {
+          std::printf(" mem~? (family=file or malformed params)\n");
+          any_unknown = true;
+        }
+      }
+      if (peak.known) {
+        std::printf("estimated peak graph memory: %s (job %zu, n=%llu, "
+                    "2m=%llu, offsets=%zu-bit)%s\n",
+                    human_bytes(peak.csr_bytes).c_str(), peak_job,
+                    static_cast<unsigned long long>(peak.n),
+                    static_cast<unsigned long long>(peak.endpoints),
+                    peak.offset_bytes * 8,
+                    any_unknown ? "  [some jobs unknown]" : "");
       }
       flags.warn_unconsumed(std::cerr);
       return 0;
