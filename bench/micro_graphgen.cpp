@@ -29,6 +29,7 @@
 #include "graph/builder.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
+#include "graph/weights.hpp"
 #include "rand/rng.hpp"
 #include "util/flags.hpp"
 #include "util/scale.hpp"
@@ -97,6 +98,52 @@ double timed_ms(const std::function<void()>& fn) {
   Stopwatch watch;
   fn();
   return watch.seconds() * 1e3;
+}
+
+/// Weighted-substrate row: synthetic weight generation, alias-table
+/// construction, and the per-draw cost of weighted vs uniform neighbour
+/// picks on the same instance.
+struct WeightedRow {
+  std::size_t n = 0;
+  std::size_t edges = 0;
+  double weights_ms = 0;     ///< generate_weights(exp) wall time
+  double alias_ms = 0;       ///< lazy alias-table build wall time
+  double uniform_draw_ns = 0;  ///< per uniform neighbour draw
+  double weighted_draw_ns = 0; ///< per alias-table draw
+};
+
+WeightedRow measure_weighted(std::size_t n, std::uint64_t seed) {
+  WeightedRow row;
+  row.n = n;
+  Rng rng(seed);
+  Graph g = gen::random_regular(n, 8, rng);
+  row.edges = g.num_edges();
+  row.weights_ms = timed_ms(
+      [&] { gen::generate_weights(g, gen::WeightKind::kExp, seed); });
+  const GraphAliasTables* tables = nullptr;
+  row.alias_ms = timed_ms([&] { tables = &g.alias_tables(); });
+  const std::size_t draws = 1 << 22;
+  Rng draw_rng(seed ^ 0x5bd1);
+  std::uint64_t sink = 0;
+  const double uniform_ms = timed_ms([&] {
+    Vertex v = 0;
+    for (std::size_t i = 0; i < draws; ++i) {
+      v = g.neighbor(v, draw_rng.next_below32(
+                            static_cast<std::uint32_t>(g.degree(v))));
+      sink += v;
+    }
+  });
+  const double weighted_ms = timed_ms([&] {
+    Vertex v = 0;
+    for (std::size_t i = 0; i < draws; ++i) {
+      v = tables->draw(g, v, draw_rng);
+      sink += v;
+    }
+  });
+  if (sink == 42) std::printf("");  // defeat dead-code elimination
+  row.uniform_draw_ns = uniform_ms * 1e6 / static_cast<double>(draws);
+  row.weighted_draw_ns = weighted_ms * 1e6 / static_cast<double>(draws);
+  return row;
 }
 
 /// Times the assembly stage both ways on the same multiset and fills the
@@ -258,6 +305,13 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Weighted substrate: weight synthesis + alias build + draw costs on
+  // the random_regular instances.
+  std::vector<WeightedRow> weighted_rows;
+  for (const std::size_t n : {n_small, n_large}) {
+    weighted_rows.push_back(measure_weighted(n, seed));
+  }
+
   bool all_deterministic = true;
   for (const Row& row : rows) all_deterministic &= row.deterministic;
 
@@ -274,6 +328,18 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < rows.size(); ++i) {
     emit_row(f, rows[i], i + 1 == rows.size());
   }
+  std::fprintf(f, "  ],\n  \"weighted_rows\": [\n");
+  for (std::size_t i = 0; i < weighted_rows.size(); ++i) {
+    const WeightedRow& row = weighted_rows[i];
+    std::fprintf(f,
+                 "    {\"family\": \"random_regular\", \"n\": %zu, "
+                 "\"edges\": %zu, \"weights_ms\": %.1f, \"alias_ms\": %.1f,\n"
+                 "     \"uniform_draw_ns\": %.1f, \"weighted_draw_ns\": "
+                 "%.1f}%s\n",
+                 row.n, row.edges, row.weights_ms, row.alias_ms,
+                 row.uniform_draw_ns, row.weighted_draw_ns,
+                 i + 1 == weighted_rows.size() ? "" : ",");
+  }
   std::fprintf(f, "  ],\n  \"all_deterministic\": %s\n}\n",
                all_deterministic ? "true" : "false");
   std::fclose(f);
@@ -289,6 +355,13 @@ int main(int argc, char** argv) {
                 row.asm_parallel_ms, row.asm_speedup(),
                 row.bytes_per_vertex_before, row.bytes_per_vertex_after,
                 row.deterministic ? "" : "  DETERMINISM BROKEN");
+  }
+  std::printf("%-16s %10s %12s %12s %14s %14s\n", "weighted", "n",
+              "weights_ms", "alias_ms", "uniform_ns/dr", "weighted_ns/dr");
+  for (const WeightedRow& row : weighted_rows) {
+    std::printf("%-16s %10zu %12.1f %12.1f %14.1f %14.1f\n", "random_regular",
+                row.n, row.weights_ms, row.alias_ms, row.uniform_draw_ns,
+                row.weighted_draw_ns);
   }
   std::printf("wrote %s\n", out_path.c_str());
   return all_deterministic ? 0 : 1;

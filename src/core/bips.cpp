@@ -36,6 +36,13 @@ BipsProcess::BipsProcess(const Graph& g, std::span<const Vertex> sources,
   if (!options_.branching.is_fractional() && options_.branching.k == 0) {
     throw std::invalid_argument("BipsProcess requires branching k >= 1");
   }
+  if (options_.weighted) {
+    if (!g.is_weighted()) {
+      throw std::invalid_argument(
+          "BipsProcess weighted=true requires a weighted graph");
+    }
+    alias_ = &g.alias_tables();
+  }
   // Worst-case list capacity up front (every list is bounded by n), so a
   // trial loop's steady state performs zero allocations.
   cand_.reserve(g.num_vertices());
@@ -134,15 +141,27 @@ std::size_t BipsProcess::step(Rng& rng) {
   const char* infected = infected_.data();
   std::uint64_t peak = probes_peak_vertex_;
 
-  const auto neighbor_block = [&](Vertex u, std::uint32_t& degree) {
+  const bool weighted = options_.weighted;
+  const GraphAliasTables* alias = alias_;
+
+  const auto neighbor_block = [&](Vertex u, std::uint32_t& degree,
+                                  std::size_t& begin) {
     if (regular >= 0) {
       degree = static_cast<std::uint32_t>(regular);
-      return adjacency + static_cast<std::size_t>(u) * degree;
+      begin = static_cast<std::size_t>(u) * degree;
+      return adjacency + begin;
     }
-    const std::size_t begin = wide ? off64[u] : off32[u];
+    begin = wide ? off64[u] : off32[u];
     const std::size_t end = wide ? off64[u + 1] : off32[u + 1];
     degree = static_cast<std::uint32_t>(end - begin);
     return adjacency + begin;
+  };
+
+  // One neighbour index: uniform Lemire draw (the historical stream), or
+  // the one shared alias-draw sequence when weighted.
+  const auto draw_index = [&](std::size_t begin, std::uint32_t degree) {
+    return weighted ? alias->draw_index(begin, degree, rng)
+                    : rng.next_below32(degree);
   };
 
   // Draws neighbours of u until the first infected hit (the early exit is
@@ -150,18 +169,19 @@ std::size_t BipsProcess::step(Rng& rng) {
   // influence nothing but this indicator). In fractional mode the extra
   // draw exists with probability rho, asked only when the first draw
   // misses (conditionally identical).
-  const auto sample = [&](std::uint32_t degree, const Vertex* nbrs) -> bool {
+  const auto sample = [&](std::uint32_t degree, const Vertex* nbrs,
+                          std::size_t begin) -> bool {
     std::uint64_t drawn = 1;
-    bool hit = infected[nbrs[rng.next_below32(degree)]] != 0;
+    bool hit = infected[nbrs[draw_index(begin, degree)]] != 0;
     if (fractional) {
       if (!hit && extra.next(rng)) {
         drawn = 2;
-        hit = infected[nbrs[rng.next_below32(degree)]] != 0;
+        hit = infected[nbrs[draw_index(begin, degree)]] != 0;
       }
     } else {
       for (unsigned i = 1; i < branching.k && !hit; ++i) {
         ++drawn;
-        hit = infected[nbrs[rng.next_below32(degree)]] != 0;
+        hit = infected[nbrs[draw_index(begin, degree)]] != 0;
       }
     }
     probes_total_ += drawn;
@@ -183,8 +203,9 @@ std::size_t BipsProcess::step(Rng& rng) {
         continue;
       }
       std::uint32_t degree;
-      const Vertex* nbrs = neighbor_block(u, degree);
-      const char hit = sample(degree, nbrs) ? 1 : 0;
+      std::size_t begin;
+      const Vertex* nbrs = neighbor_block(u, degree, begin);
+      const char hit = sample(degree, nbrs, begin) ? 1 : 0;
       next_state[u] = hit;
       count += hit;
       changed += (hit != infected[u]);
@@ -220,7 +241,8 @@ std::size_t BipsProcess::step(Rng& rng) {
         continue;                      // stably healthy: drops off the list
       }
       std::uint32_t degree;
-      const Vertex* nbrs = neighbor_block(u, degree);
+      std::size_t begin;
+      const Vertex* nbrs = neighbor_block(u, degree, begin);
       if (c == degree) {
         if (!cur) flips_.push_back(u);  // forced infection
         continue;                       // stably infected: drops off the list
@@ -228,7 +250,7 @@ std::size_t BipsProcess::step(Rng& rng) {
       // Undecided vertices stay on the list.
       cand_mark_[u] = marker;
       next_cand_.push_back(u);
-      if (sample(degree, nbrs) != cur) flips_.push_back(u);
+      if (sample(degree, nbrs, begin) != cur) flips_.push_back(u);
     }
     for (const Vertex v : flips_) {
       infected_[v] ^= 1;

@@ -50,6 +50,13 @@ struct BipsOptions {
   Branching branching = Branching::fixed(2);
   std::size_t max_rounds = 1u << 20;
   bool record_curve = true;
+  /// Weighted neighbour probes via the graph's alias tables (requires a
+  /// weighted graph). The forced-outcome and first-hit skips remain
+  /// distribution-preserving under any draw distribution — "all
+  /// neighbours infected" forces infection whatever the weights — so the
+  /// engine structure is unchanged; weighted = false leaves the uniform
+  /// RNG stream untouched.
+  bool weighted = false;
 };
 
 class BipsProcess final : public Process {
@@ -142,6 +149,9 @@ class BipsProcess final : public Process {
 
   const Graph* graph_;
   BipsOptions options_;
+  /// Alias tables for weighted probes (see GraphAliasTables::draw_index);
+  /// null when unweighted.
+  const GraphAliasTables* alias_ = nullptr;
   std::vector<Vertex> sources_;
   std::vector<char> is_source_;
   /// Current round's infected bitmap (1 byte per vertex: the draw loop's

@@ -40,6 +40,15 @@ CobraProcess::CobraProcess(const Graph& g, std::span<const Vertex> starts,
   if (!options_.branching.is_fractional() && options_.branching.k == 0) {
     throw std::invalid_argument("CobraProcess requires branching k >= 1");
   }
+  if (options_.weighted) {
+    if (!g.is_weighted()) {
+      throw std::invalid_argument(
+          "CobraProcess weighted=true requires a weighted graph");
+    }
+    // Build (or fetch the cached) alias tables up front, outside the
+    // trial loop.
+    alias_ = &g.alias_tables();
+  }
   reset(starts);
 }
 
@@ -144,6 +153,10 @@ std::size_t CobraProcess::step(Rng& rng) {
   const Vertex* adjacency = graph_->adjacency().data();
   const int regular = graph_->regularity();
   std::uint64_t* visit = visit_.data();
+  // Weighted draws overlay the alias tables on the same CSR offsets; the
+  // uniform path (weighted == false) is untouched, draw for draw.
+  const bool weighted = options_.weighted;
+  const GraphAliasTables* alias = alias_;
 
   const auto apply = [&](Vertex w) {
     const std::uint64_t state = visit[w];  // one line: membership + visit
@@ -164,15 +177,25 @@ std::size_t CobraProcess::step(Rng& rng) {
     }
   };
 
-  const auto neighbor_block = [&](Vertex v, std::uint32_t& degree) {
+  const auto neighbor_block = [&](Vertex v, std::uint32_t& degree,
+                                  std::size_t& begin) {
     if (regular >= 0) {
       degree = static_cast<std::uint32_t>(regular);
-      return adjacency + static_cast<std::size_t>(v) * degree;
+      begin = static_cast<std::size_t>(v) * degree;
+      return adjacency + begin;
     }
-    const std::size_t begin = wide ? off64[v] : off32[v];
+    begin = wide ? off64[v] : off32[v];
     const std::size_t end = wide ? off64[v + 1] : off32[v + 1];
     degree = static_cast<std::uint32_t>(end - begin);
     return adjacency + begin;
+  };
+
+  /// Index of the chosen neighbour within v's block. Uniform: one Lemire
+  /// draw (the historical stream). Weighted: the one shared alias-draw
+  /// sequence (GraphAliasTables::draw_index).
+  const auto draw_index = [&](std::size_t begin, std::uint32_t degree) {
+    return weighted ? alias->draw_index(begin, degree, rng)
+                    : rng.next_below32(degree);
   };
 
   // The frontier is processed in small batches: all of a batch's draws are
@@ -191,7 +214,8 @@ std::size_t CobraProcess::step(Rng& rng) {
     while (batch_end < frontier_count && batch_end - i < kBatchVertices) {
       const Vertex v = frontier_[batch_end];
       std::uint32_t degree;
-      const Vertex* nbrs = neighbor_block(v, degree);
+      std::size_t begin;
+      const Vertex* nbrs = neighbor_block(v, degree, begin);
       // Number of pushes this vertex performs this round.
       const unsigned pushes =
           fractional ? 1u + (extra.next(rng) ? 1u : 0u) : branching.k;
@@ -202,11 +226,11 @@ std::size_t CobraProcess::step(Rng& rng) {
       if (buffered + pushes > kBufferSize) {
         // Oversized branching factor: draw and apply this vertex inline.
         for (unsigned p = 0; p < pushes; ++p) {
-          apply(nbrs[rng.next_below32(degree)]);
+          apply(nbrs[draw_index(begin, degree)]);
         }
       } else {
         for (unsigned p = 0; p < pushes; ++p) {
-          const Vertex w = nbrs[rng.next_below32(degree)];
+          const Vertex w = nbrs[draw_index(begin, degree)];
           buffer[buffered++] = w;
           __builtin_prefetch(&visit[w], 1);
         }

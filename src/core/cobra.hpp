@@ -53,6 +53,12 @@ struct CobraOptions {
   /// the per-vertex peak are always counted, so results are independent
   /// of this flag.
   bool record_curves = true;
+  /// Weighted neighbour choice: each push draws a neighbour with
+  /// probability proportional to its edge weight via the graph's alias
+  /// tables (O(1) per draw) instead of uniformly.
+  /// Requires a weighted graph. weighted = false leaves the uniform draw
+  /// path — and its RNG stream — untouched.
+  bool weighted = false;
   FrontierMode frontier_mode = FrontierMode::kAuto;
 };
 
@@ -152,6 +158,9 @@ class CobraProcess final : public Process {
 
   const Graph* graph_;
   CobraOptions options_;
+  /// Alias tables for weighted draws (see GraphAliasTables::draw_index);
+  /// null when options_.weighted is false. Fetched once at construction.
+  const GraphAliasTables* alias_ = nullptr;
   /// Sparse frontier list (ascending). Mutable: in dense rounds it is a
   /// lazily materialized cache for frontier().
   mutable std::vector<Vertex> frontier_;

@@ -144,15 +144,54 @@ class ScratchLease {
   std::unique_ptr<BuildScratch> scratch_;
 };
 
-/// Sorts a neighbour list. Lists are typically tiny (the degree), where
-/// insertion sort beats introsort's setup; large lists fall through to
-/// std::sort.
-inline void sort_neighbours(Vertex* first, Vertex* last) {
+inline void compare_swap(Vertex& a, Vertex& b) {
+  const Vertex lo = std::min(a, b);
+  const Vertex hi = std::max(a, b);
+  a = lo;
+  b = hi;
+}
+
+/// Sorts a neighbour list and reports whether it contains a duplicate.
+/// Lists are typically tiny (the degree), where insertion sort beats
+/// introsort's setup; the duplicate check rides on the insertion
+/// comparisons instead of a separate adjacent_find pass over the whole
+/// adjacency (which low-degree families feel: at degree 4 that pass is a
+/// full extra 2m scan). Large lists fall through to std::sort +
+/// adjacent_find.
+inline bool sort_neighbours(Vertex* first, Vertex* last) {
+  // Branchless sorting networks for the tiny degrees lattice families are
+  // made of (the 2D torus is all degree 4): insertion sort's data-dependent
+  // branches mispredict on random neighbours, and at 4M vertices per
+  // instance that shows up in the assembly wall time.
+  switch (last - first) {
+    case 0:
+    case 1:
+      return false;
+    case 2:
+      compare_swap(first[0], first[1]);
+      return first[0] == first[1];
+    case 3:
+      compare_swap(first[0], first[1]);
+      compare_swap(first[0], first[2]);
+      compare_swap(first[1], first[2]);
+      return first[0] == first[1] || first[1] == first[2];
+    case 4:
+      compare_swap(first[0], first[1]);
+      compare_swap(first[2], first[3]);
+      compare_swap(first[0], first[2]);
+      compare_swap(first[1], first[3]);
+      compare_swap(first[1], first[2]);
+      return first[0] == first[1] || first[1] == first[2] ||
+             first[2] == first[3];
+    default:
+      break;
+  }
   if (last - first > 32) {
     std::sort(first, last);
-    return;
+    return std::adjacent_find(first, last) != last;
   }
-  for (Vertex* it = first + (first != last); it < last; ++it) {
+  bool dup = false;
+  for (Vertex* it = first + 1; it < last; ++it) {
     const Vertex x = *it;
     Vertex* j = it;
     while (j > first && *(j - 1) > x) {
@@ -160,7 +199,9 @@ inline void sort_neighbours(Vertex* first, Vertex* last) {
       --j;
     }
     *j = x;
+    dup |= (j > first && *(j - 1) == x);
   }
+  return dup;
 }
 
 /// The two-pass count/scatter assembly, bucketized for cache locality and
@@ -314,10 +355,7 @@ CsrArrays<Offset> scatter_csr(std::size_t n,
       Vertex* last =
           adj + (v + 1 < vert_end ? static_cast<std::size_t>(offsets[v + 1])
                                   : static_cast<std::size_t>(span_end));
-      sort_neighbours(first, last);
-      if (!local_dup && std::adjacent_find(first, last) != last) {
-        local_dup = true;
-      }
+      local_dup |= sort_neighbours(first, last);
     }
     if (local_dup) dup.store(true, std::memory_order_relaxed);
   });
@@ -330,17 +368,31 @@ CsrArrays<Offset> scatter_csr_dispatch(
     std::size_t n, const std::vector<std::pair<Vertex, Vertex>>& edges,
     BuildPool& pool) {
   // Deterministic decomposition: the bucket count is a pure function of
-  // (n, m). Target ~L2-sized adjacency spans per bucket, rounded to a
-  // power-of-two vertex span so the hot passes shift instead of divide.
+  // (n, m). A bucket's *working set* — its offsets slice plus its share
+  // of the staged owner/neighbour arrays and the adjacency span being
+  // scattered and sorted — should fit L2. Sizing on adjacency bytes alone
+  // (the old rule) let low-degree families pick vertex spans whose
+  // offset/staging traffic blew the cache: the 2D torus (2m = 4n) ran its
+  // bucket passes on ~1 MiB working sets and capped below 3x vs serial.
+  // Per-vertex cost = one Offset + (2m/n) half-edges at ~10 bytes each
+  // (staged owner ~2 + staged neighbour 4 + adjacency slot 4). The span
+  // is rounded *down* to a power of two (shifts, not divides, in the hot
+  // passes) and floored so at most 1024 buckets exist.
   constexpr std::size_t kBucketSpanBytes = 512 * 1024;
+  constexpr std::size_t kHalfEdgeBytes = 10;
   const std::size_t m = edges.size();
-  const std::size_t target_buckets = std::min<std::size_t>(
-      1024,
-      std::max<std::size_t>(1, (2 * m * sizeof(Vertex) + kBucketSpanBytes - 1) /
-                                   kBucketSpanBytes));
-  const std::size_t raw_span = (n + target_buckets - 1) / target_buckets;
+  const std::size_t per_vertex_denominator =
+      n * sizeof(Offset) + 2 * m * kHalfEdgeBytes;
+  const std::size_t raw_span = std::max<std::size_t>(
+      1, n > 0 ? kBucketSpanBytes * n / std::max<std::size_t>(
+                                            1, per_vertex_denominator)
+               : 1);
+  const std::size_t min_span = std::max<std::size_t>(1, (n + 1023) / 1024);
   unsigned bucket_shift = 0;
-  while ((std::size_t{1} << bucket_shift) < raw_span) ++bucket_shift;
+  // Floor raw_span to a power of two, then raise to honour the
+  // 1024-bucket ceiling.
+  while ((std::size_t{2} << bucket_shift) <= raw_span) ++bucket_shift;
+  while ((std::size_t{1} << bucket_shift) < min_span) ++bucket_shift;
   const std::size_t verts_per_bucket = std::size_t{1} << bucket_shift;
   const std::size_t buckets = (n + verts_per_bucket - 1) / verts_per_bucket;
   if (verts_per_bucket <= 65536) {

@@ -2,9 +2,115 @@
 #include "graph/graph.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "graph/builder.hpp"
+#include "rand/alias.hpp"
+#include "sim/thread_pool.hpp"
 
 namespace cobra {
+
+/// Heap cell for the lazily-built alias tables: the once_flag is not
+/// copyable, so it lives behind a shared_ptr that Graph's value semantics
+/// can share (copies of an immutable weighted graph want the same tables).
+struct GraphAliasCell {
+  std::once_flag once;
+  GraphAliasTables tables;
+};
+
+void Graph::attach_weights(std::vector<float> weights) {
+  if (weights.size() != adjacency_.size()) {
+    throw std::invalid_argument(
+        "graph '" + name_ + "': weight array has " +
+        std::to_string(weights.size()) + " entries, adjacency has " +
+        std::to_string(adjacency_.size()));
+  }
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (!std::isfinite(weights[i]) || !(weights[i] > 0.0f)) {
+      throw std::invalid_argument(
+          "graph '" + name_ + "': edge weight at slot " + std::to_string(i) +
+          " must be positive and finite");
+    }
+  }
+  weights_ = std::move(weights);
+  alias_cell_ =
+      weights_.empty() ? nullptr : std::make_shared<GraphAliasCell>();
+}
+
+const GraphAliasTables& Graph::alias_tables() const {
+  if (!is_weighted()) {
+    throw std::logic_error("graph '" + name_ +
+                           "': alias_tables() requires edge weights");
+  }
+  std::call_once(alias_cell_->once, [this] {
+    GraphAliasTables& tables = alias_cell_->tables;
+    tables.prob_.resize(weights_.size());
+    tables.alias_.resize(weights_.size());
+    // Per-vertex rows are independent, so the build parallelizes over
+    // fixed vertex chunks like the rest of the substrate (honouring the
+    // same GraphBuilder::set_default_threads knob); the table contents
+    // are a pure function of the weights, whatever the thread count.
+    constexpr std::size_t kVertexChunk = 1 << 15;
+    constexpr std::size_t kParallelEndpointThreshold = 1 << 16;
+    const std::size_t chunks =
+        (num_vertices_ + kVertexChunk - 1) / kVertexChunk;
+    const auto build_chunk = [&](std::size_t c, AliasScratch& scratch) {
+      const auto begin_v = static_cast<Vertex>(c * kVertexChunk);
+      const auto end_v = static_cast<Vertex>(
+          std::min<std::size_t>(num_vertices_, begin_v + kVertexChunk));
+      for (Vertex v = begin_v; v < end_v; ++v) {
+        const std::size_t begin = offset(v);
+        const std::size_t end = offset(v + 1);
+        if (begin == end) continue;
+        build_alias_row(
+            std::span<const float>(weights_.data() + begin, end - begin),
+            tables.prob_.data() + begin, tables.alias_.data() + begin,
+            scratch);
+      }
+    };
+    const std::size_t configured = GraphBuilder::default_threads();
+    const std::size_t threads =
+        configured != 0
+            ? configured
+            : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    if (chunks > 1 && threads > 1 &&
+        weights_.size() >= kParallelEndpointThreshold) {
+      ThreadPool pool(threads - 1);
+      // One scratch per worker slot would need stateful dispatch; a
+      // thread_local keeps the reuse without bookkeeping.
+      pool.parallel_for(chunks, [&](std::size_t c) {
+        thread_local AliasScratch scratch;
+        build_chunk(c, scratch);
+      });
+    } else {
+      AliasScratch scratch;
+      for (std::size_t c = 0; c < chunks; ++c) build_chunk(c, scratch);
+    }
+  });
+  return alias_cell_->tables;
+}
+
+Graph Graph::strip_weights() const {
+  // Member-wise copy that never touches weights_ or the alias cell — a
+  // full copy-then-clear would transiently duplicate the 8m-byte weight
+  // array just to throw it away.
+  Graph stripped;
+  stripped.offsets32_ = offsets32_;
+  stripped.offsets64_ = offsets64_;
+  stripped.adjacency_ = adjacency_;
+  stripped.name_ = name_;
+  stripped.num_vertices_ = num_vertices_;
+  stripped.min_degree_ = min_degree_;
+  stripped.max_degree_ = max_degree_;
+  stripped.regularity_ = regularity_;
+  stripped.wide_ = wide_;
+  return stripped;
+}
 
 Graph::Graph(std::vector<std::size_t> offsets, std::vector<Vertex> adjacency,
              std::string name)

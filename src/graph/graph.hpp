@@ -22,17 +22,68 @@
 //  * Multi-edges and self-loops are rejected at build time: the paper's
 //    processes are defined on simple graphs, and "select k neighbours
 //    uniformly" is only unambiguous when the neighbourhood is a set.
+//  * Edge weights are optional and cost nothing when absent: a weighted
+//    graph carries one float per CSR half-edge (weights()[offset(v)+i] is
+//    the weight of {v, neighbor(v,i)}; both copies of an undirected edge
+//    carry the same value), 8m bytes total. Weighted neighbour draws go
+//    through per-vertex Vose alias tables (rand/alias.hpp) built lazily on
+//    first use and cached on the Graph — thread-safe, one build however
+//    many processes share the instance.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "rand/rng.hpp"
+
 namespace cobra {
 
 using Vertex = std::uint32_t;
+
+class Graph;
+
+/// CSR-aligned per-vertex alias tables for O(1) weighted neighbour draws:
+/// prob()/alias() parallel the adjacency array (2m entries), so vertex v's
+/// table occupies slots [offset(v), offset(v+1)). Built by
+/// Graph::alias_tables(); 16m bytes (float prob + u32 alias per half-edge).
+class GraphAliasTables {
+ public:
+  std::span<const float> prob() const noexcept { return prob_; }
+  std::span<const std::uint32_t> alias() const noexcept { return alias_; }
+
+  /// Resident bytes of the two table arrays.
+  std::size_t memory_bytes() const noexcept {
+    return prob_.size() * (sizeof(float) + sizeof(std::uint32_t));
+  }
+
+  /// Index of the chosen neighbour within the block starting at CSR slot
+  /// `begin` with `degree` entries — THE weighted draw sequence: a
+  /// uniform slot via next_below32 (one draw, plus Lemire's rare
+  /// rejection redraws) then the alias coin via next_double; O(1)
+  /// whatever the degree. Every weighted consumer (the hot pointer-only
+  /// engine loops included) draws through this one definition, so trial
+  /// results stay reproducible across engines.
+  std::uint32_t draw_index(std::size_t begin, std::uint32_t degree,
+                           Rng& rng) const noexcept {
+    std::uint32_t i = rng.next_below32(degree);
+    const std::size_t slot = begin + i;
+    if (rng.next_double() >= prob_[slot]) i = alias_[slot];
+    return i;
+  }
+
+  /// One weighted draw among v's neighbours: P(neighbor(v,i)) =
+  /// weight(v,i) / strength(v). Defined inline below Graph.
+  Vertex draw(const Graph& g, Vertex v, Rng& rng) const noexcept;
+
+ private:
+  friend class Graph;
+  std::vector<float> prob_;
+  std::vector<std::uint32_t> alias_;
+};
 
 /// True if a CSR with `endpoints` (= 2m) adjacency entries fits 32-bit
 /// offsets. Exposed so the width-selection boundary is testable without
@@ -133,12 +184,47 @@ class Graph {
   /// Bytes per stored offset entry (4 or 8).
   std::size_t offset_bytes() const noexcept { return wide_ ? 8 : 4; }
 
-  /// Resident bytes of the CSR arrays (offsets + adjacency); the number a
-  /// campaign's peak-memory estimate predicts.
+  /// Resident bytes of the CSR arrays (offsets + adjacency + weights when
+  /// present); the number a campaign's peak-memory estimate predicts.
   std::size_t memory_bytes() const noexcept {
     return (num_vertices_ + 1) * offset_bytes() +
-           adjacency_.size() * sizeof(Vertex);
+           adjacency_.size() * sizeof(Vertex) +
+           weights_.size() * sizeof(float);
   }
+
+  // ---- edge weights (optional; empty vector when unweighted) ----
+
+  /// True when a CSR-aligned weight array is attached (8m bytes; an edgeless
+  /// graph is never weighted).
+  bool is_weighted() const noexcept { return !weights_.empty(); }
+
+  /// CSR-aligned weights: weights()[offset(v)+i] is the weight of the edge
+  /// {v, neighbor(v,i)}. Empty for unweighted graphs.
+  std::span<const float> weights() const noexcept { return weights_; }
+
+  /// Weight of v's i-th edge (0 <= i < degree(v)); requires is_weighted().
+  float weight(Vertex v, std::size_t i) const noexcept {
+    return weights_[offset(v) + i];
+  }
+
+  /// Attaches a CSR-aligned weight array (size 2m, every entry positive
+  /// and finite; throws std::invalid_argument otherwise, naming the first
+  /// bad slot). Part of construction — IO readers and the weight
+  /// generators call this once before the graph is shared; it resets the
+  /// alias-table cache.
+  void attach_weights(std::vector<float> weights);
+
+  /// Per-vertex Vose alias tables over weights(), built lazily on first
+  /// call (O(m), single-threaded) and cached — thread-safe, and copies of
+  /// the Graph share the cache. Requires is_weighted() (throws
+  /// std::logic_error otherwise).
+  const GraphAliasTables& alias_tables() const;
+
+  /// Copy without the weight array (and without the alias cache): feeds
+  /// unweighted baselines from weighted instances. Writing the stripped
+  /// copy as .cgr is byte-identical to a never-weighted build of the same
+  /// graph (same name).
+  Graph strip_weights() const;
 
  private:
   void finish_stats();
@@ -150,6 +236,13 @@ class Graph {
   std::vector<std::uint32_t> offsets32_{0};
   std::vector<std::uint64_t> offsets64_;
   std::vector<Vertex> adjacency_;
+  /// CSR-aligned edge weights; empty (zero overhead) when unweighted.
+  std::vector<float> weights_;
+  /// Lazily-built alias tables, in a heap cell so the std::once_flag
+  /// survives Graph's value semantics: copies share the cell (same
+  /// immutable weights -> same tables), and attach_weights installs a
+  /// fresh one. Null while unweighted.
+  std::shared_ptr<struct GraphAliasCell> alias_cell_;
   std::string name_ = "empty";
   std::size_t num_vertices_ = 0;
   std::size_t min_degree_ = 0;
@@ -157,5 +250,12 @@ class Graph {
   int regularity_ = -1;
   bool wide_ = false;
 };
+
+inline Vertex GraphAliasTables::draw(const Graph& g, Vertex v,
+                                     Rng& rng) const noexcept {
+  const std::size_t begin = g.offset(v);
+  const auto degree = static_cast<std::uint32_t>(g.offset(v + 1) - begin);
+  return g.adjacency()[begin + draw_index(begin, degree, rng)];
+}
 
 }  // namespace cobra

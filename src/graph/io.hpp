@@ -6,9 +6,11 @@
 // Edge-list format:
 //   # comment lines allowed ('%' too, and '#' starts a comment anywhere)
 //   n <num_vertices>
-//   <u> <v> [weight]   (one undirected edge per line, 0-based ids; an
-//                       optional numeric weight column is tolerated and
-//                       ignored — the library's graphs are unweighted)
+//   <u> <v> [weight]   (one undirected edge per line, 0-based ids; the
+//                       optional weight column, when present, must be
+//                       positive and finite, must appear on every edge
+//                       line, and becomes the Graph's edge weights —
+//                       see Graph::weights())
 #pragma once
 
 #include <iosfwd>
@@ -27,13 +29,17 @@ struct EdgeListOptions {
   /// if present; otherwise n is inferred as max vertex id + 1.
   bool require_header = true;
   /// Silently drop duplicate edges (files often list both directions).
-  /// When false, duplicates throw at build time.
+  /// When false, duplicates throw at build time. For weighted files the
+  /// first occurrence's weight wins (later duplicates — including the
+  /// reverse orientation — are dropped wholesale, weight and all).
   bool dedup = false;
 };
 
 /// Parses the edge-list format; throws std::invalid_argument on malformed
 /// input, always citing the offending line number (missing header,
-/// out-of-range ids, self-loops, junk columns, duplicates unless dedup).
+/// out-of-range ids, self-loops, junk columns, duplicates unless dedup,
+/// non-positive/non-finite weights, and weight columns present on only
+/// some edge lines). A file with a weight column yields a weighted Graph.
 Graph read_edge_list(std::istream& is, std::string name = "from_edge_list",
                      const EdgeListOptions& options = {});
 
@@ -44,26 +50,33 @@ void write_dot(const Graph& g, std::ostream& os);
 //
 // Versioned binary container for large instances: a campaign generates a
 // graph once, writes it as .cgr, and every later run loads the CSR arrays
-// with two bulk copies instead of re-parsing (or regenerating) millions of
-// edges. Layout (little-endian, all sections 8-byte aligned):
+// with a few bulk copies instead of re-parsing (or regenerating) millions
+// of edges. Layout (little-endian, all sections 8-byte aligned):
 //
 //   0x00  8 bytes   magic "COBRACGR"
-//   0x08  u32       version (currently 1)
-//   0x0c  u32       flags (bit 0: offsets stored as u64; else u32)
+//   0x08  u32       version (1 = unweighted, 2 adds the weight section)
+//   0x0c  u32       flags (bit 0: offsets stored as u64, else u32;
+//                          bit 1: weight section present — v2 only)
 //   0x10  u64       n   (vertex count)
 //   0x18  u64       2m  (adjacency length)
 //   0x20  u32       name_len, then name bytes, zero-padded to 8 bytes
 //   ....  (n+1) offsets (u32 or u64 per flags)
 //   ....  2m u32 adjacency entries
+//   ....  2m f32 CSR-aligned edge weights (iff flag bit 1; 8m bytes)
+//
+// Version compatibility: writers emit version 1 for unweighted graphs —
+// byte-identical to the pre-weights format, so v1 consumers and byte
+// comparisons keep working — and version 2 only when a weight array is
+// attached. The reader accepts both.
 //
 // The offset width flag must match csr_offsets_fit_32bit(2m) — the file
 // mirrors the in-memory width-adaptive representation, so loading never
 // widens or narrows. Loading mmaps the file when the platform allows
 // (one kernel-backed copy, no userspace parsing) and falls back to
 // streamed reads; either way the full CSR invariants (monotone offsets,
-// sorted in-range neighbour lists) are validated before a Graph is
-// returned, and truncated or corrupt files are rejected with
-// std::invalid_argument naming the defect.
+// sorted in-range neighbour lists, positive finite weights) are validated
+// before a Graph is returned, and truncated or corrupt files are rejected
+// with std::invalid_argument naming the defect.
 
 /// Writes `g` to `path` in the .cgr format above. Throws
 /// std::invalid_argument on IO failure.

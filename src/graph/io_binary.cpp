@@ -29,8 +29,10 @@ namespace cobra {
 namespace {
 
 constexpr char kMagic[8] = {'C', 'O', 'B', 'R', 'A', 'C', 'G', 'R'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersionUnweighted = 1;
+constexpr std::uint32_t kVersionWeighted = 2;
 constexpr std::uint32_t kFlagWideOffsets = 1u << 0;
+constexpr std::uint32_t kFlagWeights = 1u << 1;
 
 [[noreturn]] void bad_file(const std::string& path, const std::string& what) {
   throw std::invalid_argument("cgr file '" + path + "': " + what);
@@ -39,7 +41,7 @@ constexpr std::uint32_t kFlagWideOffsets = 1u << 0;
 std::size_t padded8(std::size_t bytes) { return (bytes + 7) & ~std::size_t{7}; }
 
 struct Header {
-  std::uint32_t version = kVersion;
+  std::uint32_t version = kVersionUnweighted;
   std::uint32_t flags = 0;
   std::uint64_t n = 0;
   std::uint64_t endpoints = 0;
@@ -52,10 +54,15 @@ struct Header {
   std::size_t adjacency_bytes() const {
     return static_cast<std::size_t>(endpoints) * sizeof(Vertex);
   }
+  std::size_t weights_bytes() const {
+    return (flags & kFlagWeights)
+               ? static_cast<std::size_t>(endpoints) * sizeof(float)
+               : 0;
+  }
   /// Total file size implied by the header.
   std::size_t file_bytes() const {
     return 8 + 4 + 4 + 8 + 8 + 4 + padded8(name.size() + 4) - 4 +
-           offsets_bytes() + adjacency_bytes();
+           offsets_bytes() + adjacency_bytes() + weights_bytes();
   }
 };
 
@@ -168,13 +175,19 @@ void write_cgr(const Graph& g, const std::string& path) {
     throw std::invalid_argument("cgr file '" + path + "': cannot open for "
                                 "writing");
   }
-  const std::uint32_t flags = g.offsets_are_wide() ? kFlagWideOffsets : 0;
+  // Unweighted graphs write version 1 bytes — identical to the
+  // pre-weights format, so stripped instances compare equal to
+  // never-weighted baselines.
+  const std::uint32_t version =
+      g.is_weighted() ? kVersionWeighted : kVersionUnweighted;
+  const std::uint32_t flags = (g.offsets_are_wide() ? kFlagWideOffsets : 0) |
+                              (g.is_weighted() ? kFlagWeights : 0);
   const std::uint64_t n = g.num_vertices();
   const std::uint64_t endpoints = g.adjacency().size();
   const std::string& name = g.name();
   const auto name_len = static_cast<std::uint32_t>(name.size());
   out.write(kMagic, sizeof kMagic);
-  out.write(reinterpret_cast<const char*>(&kVersion), 4);
+  out.write(reinterpret_cast<const char*>(&version), 4);
   out.write(reinterpret_cast<const char*>(&flags), 4);
   out.write(reinterpret_cast<const char*>(&n), 8);
   out.write(reinterpret_cast<const char*>(&endpoints), 8);
@@ -192,6 +205,10 @@ void write_cgr(const Graph& g, const std::string& path) {
   }
   out.write(reinterpret_cast<const char*>(g.adjacency().data()),
             static_cast<std::streamsize>(g.adjacency().size() * sizeof(Vertex)));
+  if (g.is_weighted()) {
+    out.write(reinterpret_cast<const char*>(g.weights().data()),
+              static_cast<std::streamsize>(g.weights().size() * sizeof(float)));
+  }
   out.flush();
   if (!out) throw std::invalid_argument("cgr file '" + path + "': write failed");
 }
@@ -203,12 +220,17 @@ Graph read_cgr(const std::string& path, std::string name) {
   if (std::memcmp(magic, kMagic, 8) != 0) bad_file(path, "bad magic");
   Header header;
   image.copy(8, &header.version, 4);
-  if (header.version != kVersion) {
+  if (header.version != kVersionUnweighted &&
+      header.version != kVersionWeighted) {
     bad_file(path, "unsupported version " + std::to_string(header.version));
   }
   image.copy(12, &header.flags, 4);
-  if ((header.flags & ~kFlagWideOffsets) != 0) {
+  if ((header.flags & ~(kFlagWideOffsets | kFlagWeights)) != 0) {
     bad_file(path, "unknown flags");
+  }
+  if ((header.flags & kFlagWeights) != 0 &&
+      header.version == kVersionUnweighted) {
+    bad_file(path, "weight section flagged in a version-1 file");
   }
   image.copy(16, &header.n, 8);
   image.copy(24, &header.endpoints, 8);
@@ -242,22 +264,40 @@ Graph read_cgr(const std::string& path, std::string name) {
   const std::size_t adjacency_at = offsets_at + header.offsets_bytes();
   std::vector<Vertex> adjacency(header.endpoints);
   image.copy(adjacency_at, adjacency.data(), header.adjacency_bytes());
+  // Weight section (v2): attach_weights below validates every entry
+  // (positive, finite) in its single pass.
+  std::vector<float> weights;
+  if ((header.flags & kFlagWeights) != 0) {
+    const std::size_t weights_at = adjacency_at + header.adjacency_bytes();
+    weights.resize(header.endpoints);
+    image.copy(weights_at, weights.data(), header.weights_bytes());
+  }
   std::string final_name =
       !name.empty() ? std::move(name)
                     : (!header.name.empty() ? std::move(header.name)
                                             : "cgr(" + path + ")");
+  Graph g;
   if (wide) {
     std::vector<std::uint64_t> offsets(header.n + 1);
     image.copy(offsets_at, offsets.data(), header.offsets_bytes());
     validate_csr(path, header.n, header.endpoints, offsets, adjacency);
-    return Graph(std::vector<std::size_t>(offsets.begin(), offsets.end()),
-                 std::move(adjacency), std::move(final_name));
+    g = Graph(std::vector<std::size_t>(offsets.begin(), offsets.end()),
+              std::move(adjacency), std::move(final_name));
+  } else {
+    std::vector<std::uint32_t> offsets(header.n + 1);
+    image.copy(offsets_at, offsets.data(), header.offsets_bytes());
+    validate_csr(path, header.n, header.endpoints, offsets, adjacency);
+    g = Graph(std::move(offsets), std::move(adjacency),
+              std::move(final_name));
   }
-  std::vector<std::uint32_t> offsets(header.n + 1);
-  image.copy(offsets_at, offsets.data(), header.offsets_bytes());
-  validate_csr(path, header.n, header.endpoints, offsets, adjacency);
-  return Graph(std::move(offsets), std::move(adjacency),
-               std::move(final_name));
+  if (!weights.empty()) {
+    try {
+      g.attach_weights(std::move(weights));
+    } catch (const std::invalid_argument& e) {
+      bad_file(path, e.what());  // corrupt weight values name the file
+    }
+  }
+  return g;
 }
 
 bool is_cgr_file(const std::string& path) {

@@ -1,0 +1,44 @@
+// SPDX-License-Identifier: MIT
+//
+// Synthetic edge-weight generation for any graph family.
+//
+// Weighted scenarios (link qualities, per-link costs) want non-uniform
+// transmission probabilities on instances the existing generators already
+// produce, so weights are synthesized *after* construction: every
+// undirected edge {u, v} gets a weight that is a pure function of
+// (seed, min(u,v), max(u,v)) — its own two-word SplitMix64 stream — so the
+// result is deterministic whatever the thread count, the edge emission
+// order, or the assembly path, and both CSR copies of an edge agree by
+// construction. The fill itself is parallelized over vertex chunks on the
+// sim/ pool (each half-edge derives its value independently).
+//
+// Distributions:
+//   kUniform — Uniform(0, 1]   (mean 1/2; bounded link qualities)
+//   kExp     — Exponential(1)  (heavy-ish tail; per-link costs)
+// Both are clamped away from zero so the positive-weight invariant of
+// Graph::attach_weights always holds.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "graph/graph.hpp"
+
+namespace cobra::gen {
+
+enum class WeightKind { kUniform, kExp };
+
+/// Parses "uniform" / "exp"; nullopt otherwise.
+std::optional<WeightKind> parse_weight_kind(std::string_view name);
+
+/// Attaches synthetic weights to `g` (replacing any existing weight
+/// array). Deterministic in (g, kind, seed) alone — thread count and
+/// construction history do not matter.
+void generate_weights(Graph& g, WeightKind kind, std::uint64_t seed);
+
+/// The weight generate_weights(seed, kind) assigns to edge {u, v} —
+/// exposed so tests can pin the per-edge stream contract.
+float edge_weight(WeightKind kind, std::uint64_t seed, Vertex u, Vertex v);
+
+}  // namespace cobra::gen

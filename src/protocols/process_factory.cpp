@@ -72,6 +72,22 @@ bool read_record_curve(Reader& p) {
   return p.get_int("record_curve", 1) != 0;
 }
 
+/// Parses `weighted` and fails fast (with registry context) when the
+/// bound graph carries no weights — the process constructors re-check,
+/// but this names the actual problem instead of surfacing a bare
+/// invalid_argument mid-campaign.
+bool read_weighted(Reader& p, const Graph& g, const char* process_name) {
+  const bool weighted = p.get_int("weighted", 0) != 0;
+  if (weighted && !g.is_weighted()) {
+    throw ProcessFactoryError(
+        std::string("process '") + process_name + "': weighted=1 but graph '" +
+        g.name() +
+        "' has no edge weights (load a weighted edge list / .cgr v2, or set "
+        "'weight = uniform|exp' on the [graph] section)");
+  }
+  return weighted;
+}
+
 /// First vertex with an edge — the workspace-construction start for the
 /// engines whose constructor needs one (trial starts are rotated by the
 /// caller and revalidated on reset).
@@ -109,19 +125,25 @@ constexpr ProcessParamSpec kMaxRounds20 = {
     "max_rounds", "int (default 2^20) — abort threshold"};
 constexpr ProcessParamSpec kRecordCurve = {
     "record_curve", "0/1 (default 1) — record the per-round curve"};
+constexpr ProcessParamSpec kWeighted = {
+    "weighted",
+    "0/1 (default 0) — weight-proportional neighbour draws via alias "
+    "tables (requires a weighted graph)"};
 
 const std::vector<RegistryEntry>& registry() {
   // Sorted by name; the table is the one place a process is declared.
   static const std::vector<RegistryEntry> kRegistry = {
       {{"bips",
         "biased infection with persistent source (epidemic dual of COBRA)",
-        {kBranchingKeys[0], kBranchingKeys[1], kMaxRounds20, kRecordCurve}},
+        {kBranchingKeys[0], kBranchingKeys[1], kMaxRounds20, kRecordCurve,
+         kWeighted}},
        [](const Graph& g, Reader& p) -> std::unique_ptr<Process> {
          require_all_degrees(g, "bips");
          BipsOptions options;
          options.branching = read_branching(p);
          options.max_rounds = read_max_rounds(p, 1u << 20);
          options.record_curve = read_record_curve(p);
+         options.weighted = read_weighted(p, g, "bips");
          return std::make_unique<BipsProcess>(g, first_spreadable(g), options);
        }},
       {{"branching-walk",
@@ -148,7 +170,8 @@ const std::vector<RegistryEntry>& registry() {
        }},
       {{"cobra",
         "coalescing-branching random walk (the paper's process)",
-        {kBranchingKeys[0], kBranchingKeys[1], kMaxRounds20, kRecordCurve}},
+        {kBranchingKeys[0], kBranchingKeys[1], kMaxRounds20, kRecordCurve,
+         kWeighted}},
        [](const Graph& g, Reader& p) -> std::unique_ptr<Process> {
          CobraOptions options;
          options.branching = read_branching(p);
@@ -157,6 +180,7 @@ const std::vector<RegistryEntry>& registry() {
          // peak are counted regardless (Process contract: results do not
          // depend on curve recording).
          options.record_curves = read_record_curve(p);
+         options.weighted = read_weighted(p, g, "cobra");
          return std::make_unique<CobraProcess>(g, first_spreadable(g),
                                                options);
        }},
@@ -171,29 +195,32 @@ const std::vector<RegistryEntry>& registry() {
        }},
       {{"pull",
         "pull rumour spreading (uninformed vertices sample one neighbour)",
-        {kMaxRounds20, kRecordCurve}},
+        {kMaxRounds20, kRecordCurve, kWeighted}},
        [](const Graph& g, Reader& p) -> std::unique_ptr<Process> {
          PullOptions options;
          options.max_rounds = read_max_rounds(p, 1u << 20);
          options.record_curve = read_record_curve(p);
+         options.weighted = read_weighted(p, g, "pull");
          return std::make_unique<PullProcess>(g, options);
        }},
       {{"push",
         "push rumour spreading (informed vertices send to one neighbour)",
-        {kMaxRounds20, kRecordCurve}},
+        {kMaxRounds20, kRecordCurve, kWeighted}},
        [](const Graph& g, Reader& p) -> std::unique_ptr<Process> {
          PushOptions options;
          options.max_rounds = read_max_rounds(p, 1u << 20);
          options.record_curve = read_record_curve(p);
+         options.weighted = read_weighted(p, g, "push");
          return std::make_unique<PushProcess>(g, options);
        }},
       {{"push-pull",
         "push-pull rumour spreading (Karp et al.; n contacts per round)",
-        {kMaxRounds20, kRecordCurve}},
+        {kMaxRounds20, kRecordCurve, kWeighted}},
        [](const Graph& g, Reader& p) -> std::unique_ptr<Process> {
          PushPullOptions options;
          options.max_rounds = read_max_rounds(p, 1u << 20);
          options.record_curve = read_record_curve(p);
+         options.weighted = read_weighted(p, g, "push-pull");
          return std::make_unique<PushPullProcess>(g, options);
        }},
       {{"sis",
@@ -211,11 +238,13 @@ const std::vector<RegistryEntry>& registry() {
        }},
       {{"walk",
         "simple random walk (k = 1 COBRA; one step per round)",
-        {{"max_rounds", "int (default 2^28) — step budget"}, kRecordCurve}},
+        {{"max_rounds", "int (default 2^28) — step budget"}, kRecordCurve,
+         kWeighted}},
        [](const Graph& g, Reader& p) -> std::unique_ptr<Process> {
          RandomWalkOptions options;
          options.max_steps = read_max_rounds(p, std::size_t{1} << 28);
          options.record_curve = read_record_curve(p);
+         options.weighted = read_weighted(p, g, "walk");
          return std::make_unique<WalkProcess>(g, options);
        }},
   };

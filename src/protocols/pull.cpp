@@ -12,6 +12,13 @@ PullProcess::PullProcess(const Graph& g, PullOptions options)
   if (g.num_vertices() == 0) {
     throw std::invalid_argument("PullProcess requires a non-empty graph");
   }
+  if (options_.weighted) {
+    if (!g.is_weighted()) {
+      throw std::invalid_argument(
+          "PullProcess weighted=true requires a weighted graph");
+    }
+    alias_ = &g.alias_tables();
+  }
 }
 
 void PullProcess::do_reset(std::span<const Vertex> starts) {
@@ -48,7 +55,9 @@ void PullProcess::do_step(Rng& rng) {
     const auto degree = static_cast<std::uint32_t>(g.degree(v));
     if (degree == 0) continue;  // isolated: nothing to pull from
     ++contacts;
-    const Vertex w = g.neighbor(v, rng.next_below32(degree));
+    const Vertex w = alias_ != nullptr
+                         ? alias_->draw(g, v, rng)
+                         : g.neighbor(v, rng.next_below32(degree));
     if (informed_[w] == 1) {  // == 1: only start-of-round informed count
       informed_[v] = 2;       // mark for activation after the sweep
       ++new_informed;

@@ -18,6 +18,9 @@ namespace cobra {
 struct PullOptions {
   std::size_t max_rounds = 1u << 20;
   bool record_curve = true;
+  /// Weighted neighbour choice via the graph's alias tables (requires a
+  /// weighted graph); false keeps the uniform draw and its RNG stream.
+  bool weighted = false;
 };
 
 /// Steppable pull with a reusable workspace (see PushProcess). The RNG
@@ -55,6 +58,8 @@ class PullProcess final : public Process {
  private:
   const Graph* graph_;
   PullOptions options_;
+  /// Alias tables for weighted draws; null when unweighted.
+  const GraphAliasTables* alias_ = nullptr;
   std::vector<char> informed_;
   std::size_t count_ = 0;
   std::size_t round_ = 0;

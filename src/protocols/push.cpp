@@ -14,6 +14,13 @@ PushProcess::PushProcess(const Graph& g, PushOptions options)
   if (g.num_vertices() == 0) {
     throw std::invalid_argument("PushProcess requires a non-empty graph");
   }
+  if (options_.weighted) {
+    if (!g.is_weighted()) {
+      throw std::invalid_argument(
+          "PushProcess weighted=true requires a weighted graph");
+    }
+    alias_ = &g.alias_tables();
+  }
   informed_list_.reserve(g.num_vertices());
 }
 
@@ -45,8 +52,11 @@ void PushProcess::do_step(Rng& rng) {
   const std::size_t senders = informed_list_.size();
   for (std::size_t i = 0; i < senders; ++i) {
     const Vertex v = informed_list_[i];
-    const Vertex w = g.neighbor(
-        v, rng.next_below32(static_cast<std::uint32_t>(g.degree(v))));
+    const Vertex w =
+        alias_ != nullptr
+            ? alias_->draw(g, v, rng)
+            : g.neighbor(
+                  v, rng.next_below32(static_cast<std::uint32_t>(g.degree(v))));
     if (!informed_[w]) {
       informed_[w] = 1;
       informed_list_.push_back(w);

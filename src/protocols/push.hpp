@@ -18,6 +18,9 @@ namespace cobra {
 struct PushOptions {
   std::size_t max_rounds = 1u << 20;
   bool record_curve = true;
+  /// Weighted neighbour choice via the graph's alias tables (requires a
+  /// weighted graph); false keeps the uniform draw and its RNG stream.
+  bool weighted = false;
 };
 
 /// Steppable push with a reusable workspace: the informed bitmap and list
@@ -58,6 +61,8 @@ class PushProcess final : public Process {
  private:
   const Graph* graph_;
   PushOptions options_;
+  /// Alias tables for weighted draws; null when unweighted.
+  const GraphAliasTables* alias_ = nullptr;
   std::vector<char> informed_;
   std::vector<Vertex> informed_list_;
   std::size_t round_ = 0;

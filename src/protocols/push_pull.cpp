@@ -15,6 +15,13 @@ PushPullProcess::PushPullProcess(const Graph& g, PushPullOptions options)
   if (g.num_vertices() == 0) {
     throw std::invalid_argument("PushPullProcess requires a non-empty graph");
   }
+  if (options_.weighted) {
+    if (!g.is_weighted()) {
+      throw std::invalid_argument(
+          "PushPullProcess weighted=true requires a weighted graph");
+    }
+    alias_ = &g.alias_tables();
+  }
   for (Vertex v = 0; v < g.num_vertices(); ++v) {
     contactors_ += (g.degree(v) > 0);
   }
@@ -53,7 +60,9 @@ void PushPullProcess::do_step(Rng& rng) {
     const auto degree = static_cast<std::uint32_t>(g.degree(v));
     if (degree == 0) continue;  // isolated: no one to contact
     ++contacts;
-    const Vertex w = g.neighbor(v, rng.next_below32(degree));
+    const Vertex w = alias_ != nullptr
+                         ? alias_->draw(g, v, rng)
+                         : g.neighbor(v, rng.next_below32(degree));
     if (informed_[v]) {
       next_[w] = 1;  // push
     } else if (informed_[w]) {

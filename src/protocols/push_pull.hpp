@@ -17,6 +17,9 @@ namespace cobra {
 struct PushPullOptions {
   std::size_t max_rounds = 1u << 20;
   bool record_curve = true;
+  /// Weighted contact choice via the graph's alias tables (requires a
+  /// weighted graph); false keeps the uniform draw and its RNG stream.
+  bool weighted = false;
 };
 
 /// Steppable push-pull with a reusable workspace (see PushProcess). The
@@ -51,6 +54,8 @@ class PushPullProcess final : public Process {
  private:
   const Graph* graph_;
   PushPullOptions options_;
+  /// Alias tables for weighted draws; null when unweighted.
+  const GraphAliasTables* alias_ = nullptr;
   std::vector<char> informed_;
   std::vector<char> next_;
   std::size_t contactors_ = 0;  ///< positive-degree vertex count (fixed)

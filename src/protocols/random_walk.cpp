@@ -38,6 +38,13 @@ WalkProcess::WalkProcess(const Graph& g, RandomWalkOptions options)
   if (g.num_vertices() == 0) {
     throw std::invalid_argument("WalkProcess requires a non-empty graph");
   }
+  if (options_.weighted) {
+    if (!g.is_weighted()) {
+      throw std::invalid_argument(
+          "WalkProcess weighted=true requires a weighted graph");
+    }
+    alias_ = &g.alias_tables();
+  }
 }
 
 std::size_t WalkProcess::curve_size_hint() const {
@@ -72,8 +79,12 @@ void WalkProcess::do_reset(std::span<const Vertex> starts) {
 }
 
 void WalkProcess::do_step(Rng& rng) {
-  const auto degree = static_cast<std::uint32_t>(graph_->degree(position_));
-  position_ = graph_->neighbor(position_, rng.next_below32(degree));
+  if (alias_ != nullptr) {
+    position_ = alias_->draw(*graph_, position_, rng);
+  } else {
+    const auto degree = static_cast<std::uint32_t>(graph_->degree(position_));
+    position_ = graph_->neighbor(position_, rng.next_below32(degree));
+  }
   ++steps_;
   if (first_visit_[position_] == kRoundNever) {
     first_visit_[position_] = static_cast<Round>(steps_);

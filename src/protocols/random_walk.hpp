@@ -48,6 +48,11 @@ class RandomWalk {
 struct RandomWalkOptions {
   std::size_t max_steps = 1u << 28;
   bool record_curve = true;
+  /// Weighted steps via the graph's alias tables (requires a weighted
+  /// graph): P(move to w) = weight({v,w}) / strength(v) — the standard
+  /// weighted random walk. false keeps the uniform draw and its RNG
+  /// stream.
+  bool weighted = false;
 };
 
 /// Steppable cover walk with a reusable workspace: the first-visit array
@@ -89,6 +94,8 @@ class WalkProcess final : public Process {
  private:
   const Graph* graph_;
   RandomWalkOptions options_;
+  /// Alias tables for weighted steps; null when unweighted.
+  const GraphAliasTables* alias_ = nullptr;
   std::vector<Round> first_visit_;
   Vertex position_ = 0;
   std::size_t steps_ = 0;

@@ -6,6 +6,7 @@
 
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "graph/weights.hpp"
 #include "util/param_reader.hpp"
 
 namespace cobra::scenario {
@@ -387,8 +388,45 @@ Graph build_graph(const ParamMap& params, Rng& rng) {
   }
   ParamReader reader(params, "graph family '" + *family_name + "'");
   reader.require("family");  // consumed by dispatch
+  // Universal weight hooks, consumed before family dispatch:
+  //   weight = uniform|exp  synthesizes deterministic per-edge weights on
+  //                         any family (graph/weights.hpp);
+  //   weight = file         asserts the loaded file carried weights;
+  //   weight_seed           pins the synthesis seed (default: one draw
+  //                         from the job's graph RNG, taken after the
+  //                         family build so unweighted jobs see an
+  //                         unchanged stream).
+  const std::string weight_kind = reader.get("weight", "none");
+  const bool seed_given = reader.has("weight_seed");
+  const std::int64_t weight_seed =
+      seed_given ? reader.require_int("weight_seed") : 0;
+  // Validate the weight spec BEFORE the family build: these are pure
+  // string checks, and surfacing a typo after a multi-minute n=2^24
+  // generation would waste the whole build.
+  std::optional<gen::WeightKind> synth_kind;
+  if (weight_kind != "none" && weight_kind != "file") {
+    synth_kind = gen::parse_weight_kind(weight_kind);
+    if (!synth_kind.has_value()) {
+      throw SpecError("graph: unknown weight kind '" + weight_kind +
+                      "' (none, uniform, exp, file)");
+    }
+  }
+  if (seed_given && !synth_kind.has_value()) {
+    throw SpecError("graph: 'weight_seed' requires weight = uniform|exp");
+  }
   Graph g = family->build(reader, rng);
   reader.finish();
+  if (weight_kind == "file") {
+    if (!g.is_weighted()) {
+      throw SpecError(
+          "graph: weight = file, but the loaded graph carries no weights "
+          "(needs family = file with a weighted edge list or .cgr v2)");
+    }
+  } else if (synth_kind.has_value()) {
+    const std::uint64_t seed =
+        seed_given ? static_cast<std::uint64_t>(weight_seed) : rng();
+    gen::generate_weights(g, *synth_kind, seed);
+  }
   return g;
 }
 
@@ -413,12 +451,25 @@ GraphMemoryEstimate estimate_graph_memory(const ParamMap& params) {
   out.endpoints = size.endpoints;
   out.offset_bytes = csr_offsets_fit_32bit(size.endpoints) ? 4 : 8;
   out.csr_bytes = (size.n + 1) * out.offset_bytes + size.endpoints * 4;
+  // Synthetic weights add one float per half-edge (8m bytes). weight=file
+  // keeps whatever the file holds; file-family sizes are unknown anyway.
+  const std::string* weight = find_param(params, "weight");
+  if (weight != nullptr && (*weight == "uniform" || *weight == "exp")) {
+    out.weight_bytes = size.endpoints * sizeof(float);
+  }
   return out;
+}
+
+/// The weight hooks are accepted by every family (build_graph consumes
+/// them before family dispatch).
+bool is_universal_graph_key(std::string_view key) {
+  return key == "weight" || key == "weight_seed";
 }
 
 bool graph_family_has_param(std::string_view family, std::string_view key) {
   const GraphFamily* entry = find_family(family);
-  return entry != nullptr && key_listed(entry->keys, key);
+  if (entry == nullptr) return false;
+  return is_universal_graph_key(key) || key_listed(entry->keys, key);
 }
 
 std::vector<std::string> graph_family_param_keys(std::string_view family) {
@@ -429,6 +480,8 @@ std::vector<std::string> graph_family_param_keys(std::string_view family) {
     if (key == nullptr) break;
     keys.emplace_back(key);
   }
+  keys.emplace_back("weight");
+  keys.emplace_back("weight_seed");
   return keys;
 }
 

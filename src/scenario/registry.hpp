@@ -73,6 +73,13 @@ struct GraphMemoryEstimate {
   std::uint64_t endpoints = 0;  ///< 2m (adjacency entries)
   std::size_t offset_bytes = 0; ///< 4 or 8 — the width-adaptive selection
   std::uint64_t csr_bytes = 0;  ///< (n+1)*offset_bytes + endpoints*4
+  /// Weight array bytes (endpoints*4 = 8m) when the job requests
+  /// weight = uniform|exp; 0 for unweighted jobs. Alias tables add
+  /// endpoints*8 more when a process sets weighted=1 — scenario_runner
+  /// --dry-run folds that in per job from the process params.
+  std::uint64_t weight_bytes = 0;
+
+  std::uint64_t total_bytes() const { return csr_bytes + weight_bytes; }
 };
 GraphMemoryEstimate estimate_graph_memory(const ParamMap& params);
 

@@ -174,18 +174,39 @@ TEST(GraphIo, ReadSkipsCommentsAndBlankLines) {
   EXPECT_EQ(g.num_edges(), 1u);
 }
 
-TEST(GraphIo, ReadToleratesWeightsAndInlineComments) {
+TEST(GraphIo, ReadKeepsWeightsAndInlineComments) {
   std::stringstream buffer(
       "% matrix-market style comment\n"
       "n 4\n"
-      "0 1 0.5     # weighted, weight ignored\n"
+      "0 1 0.5     # weighted\n"
       "1 2 2.25\n"
-      "2 3\n");
+      "2 3 1\n");
   const Graph g = read_edge_list(buffer, "weighted");
   EXPECT_EQ(g.num_vertices(), 4u);
   EXPECT_EQ(g.num_edges(), 3u);
   EXPECT_TRUE(g.has_edge(0, 1));
   EXPECT_TRUE(g.has_edge(2, 3));
+  // The weight column is no longer dropped: the graph is weighted and the
+  // values land CSR-aligned on both half-edges.
+  ASSERT_TRUE(g.is_weighted());
+  EXPECT_FLOAT_EQ(g.weight(0, 0), 0.5f);   // 0 -> 1
+  EXPECT_FLOAT_EQ(g.weight(2, 0), 2.25f);  // 2 -> 1 (sorted before 3)
+  EXPECT_FLOAT_EQ(g.weight(2, 1), 1.0f);   // 2 -> 3
+}
+
+TEST(GraphIo, ReadRejectsMixedWeightedAndUnweightedLines) {
+  // All-or-nothing: a half-weighted file would silently skew every
+  // weighted draw, so the first disagreeing line errors.
+  std::stringstream missing("n 4\n0 1 0.5\n1 2 2.25\n2 3\n");
+  try {
+    read_edge_list(missing);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("missing weight"), std::string::npos);
+  }
+  std::stringstream extra("n 4\n0 1\n1 2 2.25\n");
+  EXPECT_THROW(read_edge_list(extra), std::invalid_argument);
 }
 
 TEST(GraphIo, ReadRejectsJunkAfterWeight) {
@@ -200,13 +221,18 @@ TEST(GraphIo, ReadRejectsJunkAfterWeight) {
 
 TEST(GraphIo, HeaderlessAndDuplicateTolerantModes) {
   // Real-world lists: no header (n inferred), both edge directions listed.
-  std::stringstream buffer("0 1\n1 0 0.5\n1 2\n2 3 1.5\n");
+  std::stringstream buffer("0 1 0.25\n1 0 0.5\n1 2 1\n2 3 1.5\n");
   EdgeListOptions options;
   options.require_header = false;
   options.dedup = true;
   const Graph g = read_edge_list(buffer, "external", options);
   EXPECT_EQ(g.num_vertices(), 4u);
   EXPECT_EQ(g.num_edges(), 3u);
+  // Weighted dedup: the first occurrence's weight wins — the reverse
+  // duplicate's 0.5 is dropped with its line.
+  ASSERT_TRUE(g.is_weighted());
+  EXPECT_FLOAT_EQ(g.weight(0, 0), 0.25f);
+  EXPECT_FLOAT_EQ(g.weight(1, 0), 0.25f);
   // A header is still honoured in headerless mode (extra isolated vertex).
   std::stringstream with_header("n 6\n0 1\n");
   const Graph h = read_edge_list(with_header, "padded", options);

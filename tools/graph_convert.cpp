@@ -45,13 +45,17 @@ int main(int argc, char** argv) {
   const bool help = flags.help_requested();
   const bool no_header = flags.has("no-header");
   const bool dedup = flags.has("dedup");
+  const bool strip_weights = flags.has("strip-weights");
   const std::string name_override = flags.get("name", "");
   if (help) {
     std::printf(
         "usage: graph_convert <input> <output> [flags]\n\n"
         "Converts between the text edge-list format and the binary CSR\n"
         "container (.cgr). Output format is chosen by the output file's\n"
-        "extension; binary inputs are recognised by extension or magic.\n\n"
+        "extension; binary inputs are recognised by extension or magic.\n"
+        "Edge weights round-trip through both formats (.cgr v2 carries\n"
+        "them natively); --strip-weights drops them so a weighted\n"
+        "instance can feed unweighted baselines byte-identically.\n\n"
         "flags:\n");
     flags.print_help(std::cout);
     return 0;
@@ -80,6 +84,7 @@ int main(int argc, char** argv) {
       g = read_edge_list(
           in, name_override.empty() ? stem_of(input) : name_override, options);
     }
+    if (strip_weights) g = g.strip_weights();
 
     if (output.ends_with(".cgr")) {
       write_cgr(g, output);
@@ -98,9 +103,10 @@ int main(int argc, char** argv) {
       }
     }
 
-    std::printf("%s: n=%zu m=%zu offsets=%zu-bit csr_bytes=%zu -> %s\n",
+    std::printf("%s: n=%zu m=%zu offsets=%zu-bit%s csr_bytes=%zu -> %s\n",
                 g.name().c_str(), g.num_vertices(), g.num_edges(),
-                g.offset_bytes() * 8, g.memory_bytes(), output.c_str());
+                g.offset_bytes() * 8, g.is_weighted() ? " weighted" : "",
+                g.memory_bytes(), output.c_str());
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -156,25 +156,46 @@ int main(int argc, char** argv) {
                   plan.name.c_str(), plan.jobs.size(), plan.trials,
                   static_cast<unsigned long long>(plan.base_seed),
                   plan.output.c_str());
-      // Per-job estimated peak graph memory (n, 2m, offset width) so an
-      // overnight campaign can be sanity-checked against RAM up front.
+      // Per-job estimated peak graph memory (n, 2m, offset width, weight
+      // array, alias tables) so an overnight campaign can be
+      // sanity-checked against RAM up front.
       GraphMemoryEstimate peak;
+      std::uint64_t peak_total = 0;
+      std::uint64_t peak_alias = 0;
       std::size_t peak_job = 0;
       bool any_unknown = false;
       for (const JobSpec& job : plan.jobs) {
         const GraphMemoryEstimate est = estimate_graph_memory(job.graph);
+        // weighted=1 jobs lazily build the per-vertex alias tables:
+        // endpoints * 8 bytes (float prob + u32 alias) on top of the
+        // weight array.
+        const std::string* weighted = find_param(job.process, "weighted");
+        const std::uint64_t alias_bytes =
+            (weighted != nullptr && *weighted != "0") ? est.endpoints * 8
+                                                      : 0;
         std::printf("  job %zu seed=%llu graph{%s} process{%s}", job.index,
                     static_cast<unsigned long long>(job.seed_index),
                     canonical_params(job.graph).c_str(),
                     canonical_params(job.process).c_str());
         if (est.known) {
-          std::printf(" mem~%s (n=%llu, 2m=%llu, offsets=%zu-bit)\n",
-                      human_bytes(est.csr_bytes).c_str(),
+          const std::uint64_t total = est.total_bytes() + alias_bytes;
+          std::printf(" mem~%s (n=%llu, 2m=%llu, offsets=%zu-bit",
+                      human_bytes(total).c_str(),
                       static_cast<unsigned long long>(est.n),
                       static_cast<unsigned long long>(est.endpoints),
                       est.offset_bytes * 8);
-          if (est.csr_bytes > peak.csr_bytes) {
+          if (est.weight_bytes > 0) {
+            std::printf(", weights +%s",
+                        human_bytes(est.weight_bytes).c_str());
+          }
+          if (alias_bytes > 0) {
+            std::printf(", alias +%s", human_bytes(alias_bytes).c_str());
+          }
+          std::printf(")\n");
+          if (total > peak_total) {
             peak = est;
+            peak_total = total;
+            peak_alias = alias_bytes;
             peak_job = job.index;
           }
         } else {
@@ -184,11 +205,12 @@ int main(int argc, char** argv) {
       }
       if (peak.known) {
         std::printf("estimated peak graph memory: %s (job %zu, n=%llu, "
-                    "2m=%llu, offsets=%zu-bit)%s\n",
-                    human_bytes(peak.csr_bytes).c_str(), peak_job,
+                    "2m=%llu, offsets=%zu-bit%s)%s\n",
+                    human_bytes(peak_total).c_str(), peak_job,
                     static_cast<unsigned long long>(peak.n),
                     static_cast<unsigned long long>(peak.endpoints),
                     peak.offset_bytes * 8,
+                    peak.weight_bytes + peak_alias > 0 ? ", weighted" : "",
                     any_unknown ? "  [some jobs unknown]" : "");
       }
       flags.warn_unconsumed(std::cerr);
