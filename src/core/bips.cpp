@@ -303,6 +303,60 @@ std::size_t BipsProcess::step(Rng& rng) {
   return infected_count_;
 }
 
+void BipsProcess::step_faulty(Rng& rng) {
+  FaultSession& fs = *faults();
+  const std::size_t n = graph_->num_vertices();
+  const Branching& branching = options_.branching;
+  const bool fractional = branching.is_fractional();
+  char* next_state = next_infected_.data();
+  std::uint64_t peak = probes_peak_vertex_;
+  std::size_t count = 0;
+  for (Vertex u = 0; u < n; ++u) {
+    if (is_source_[u]) {
+      next_state[u] = 1;
+      ++count;
+      continue;
+    }
+    // A probe is a request/response pair: a down vertex takes no part in
+    // the round, and an asleep one cannot hear the responses — in both
+    // cases u's state is frozen (delay, never corrupt).
+    if (!fs.can_receive(u)) {
+      next_state[u] = infected_[u];
+      count += next_state[u] != 0;
+      continue;
+    }
+    const auto degree = static_cast<std::uint32_t>(graph_->degree(u));
+    const unsigned draws =
+        fractional ? 1u + (rng.bernoulli(branching.rho) ? 1u : 0u)
+                   : branching.k;
+    bool any_delivered = false;
+    char hit = 0;
+    for (unsigned i = 0; i < draws; ++i) {
+      const Vertex w = options_.weighted
+                           ? alias_->draw(*graph_, u, rng)
+                           : graph_->neighbor(u, rng.next_below32(degree));
+      if (fs.transmit(u, i, w)) {
+        any_delivered = true;
+        if (infected_[w]) hit = 1;
+      }
+    }
+    probes_total_ += draws;
+    if (draws > peak) peak = draws;
+    // All probes lost/blocked: state frozen. Otherwise the delivered
+    // responses decide as usual.
+    next_state[u] = any_delivered ? hit : infected_[u];
+    count += next_state[u] != 0;
+  }
+  infected_.swap(next_infected_);
+  infected_count_ = count;
+  active_estimate_ = n - sources_.size();
+  // The list-mode counts are stale after a fault round; force scan mode
+  // (reset() rebuilds everything for the next trial anyway).
+  scan_mode_ = true;
+  probes_peak_vertex_ = peak;
+  ++round_;
+}
+
 namespace {
 
 SpreadResult run_to_full_infection(BipsProcess& process, Rng& rng) {

@@ -137,10 +137,23 @@ class BipsProcess final : public Process {
 
  protected:
   void do_reset(std::span<const Vertex> sources) override { reset(sources); }
-  void do_step(Rng& rng) override { step(rng); }
+  void do_step(Rng& rng) override {
+    if (faults() != nullptr) {
+      step_faulty(rng);
+      return;
+    }
+    step(rng);
+  }
   bool curve_enabled() const override { return options_.record_curve; }
 
  private:
+  /// Fault-aware round (core/faults.hpp): a plain scan where a probe is a
+  /// request/response pair — a vertex that is down or asleep cannot hear
+  /// any response and keeps (freezes) its current state, and a vertex
+  /// whose every probe was lost likewise keeps its state. Delivered
+  /// probes behave normally. The forced-outcome/early-exit machinery is
+  /// bypassed (its skips assume lossless probes).
+  void step_faulty(Rng& rng);
   /// True if u's next state is random, or forced to differ from its
   /// current state — exactly the vertices that need processing. Valid only
   /// while the neighbour counts are maintained (list mode).

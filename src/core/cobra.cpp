@@ -258,6 +258,66 @@ std::size_t CobraProcess::step(Rng& rng) {
   return new_visits;
 }
 
+void CobraProcess::step_faulty(Rng& rng) {
+  FaultSession& fs = *faults();
+  const Round next_round = round_ + 1;
+  const Stamp next = stamp(next_round);
+  frontier();  // materialize C_t in ascending order (both representations)
+  next_frontier_.clear();
+  if (options_.record_curves) accounting_.begin_round();
+  std::size_t new_visits = 0;
+  std::size_t next_size = 0;
+
+  const Branching& branching = options_.branching;
+  const bool fractional = branching.is_fractional();
+  BernoulliSkipper extra(fractional ? branching.rho : 0.0);
+
+  const auto apply = [&](Vertex w) {
+    const std::uint64_t state = visit_[w];
+    if (static_cast<Stamp>(state) == next) return;  // coalesce
+    if (static_cast<Stamp>(state >> 32) >= base_) {
+      visit_[w] = (state & 0xFFFFFFFF00000000ULL) | next;
+    } else {
+      visit_[w] = (static_cast<std::uint64_t>(next) << 32) | next;
+      ++new_visits;
+    }
+    ++next_size;
+    next_frontier_.push_back(w);
+  };
+
+  for (const Vertex v : frontier_) {
+    if (!fs.can_send(v)) {
+      // Down: the token is frozen in place — no sends, no accounting.
+      apply(v);
+      continue;
+    }
+    const unsigned pushes =
+        fractional ? 1u + (extra.next(rng) ? 1u : 0u) : branching.k;
+    accounting_.record_vertex_send(pushes);
+    const auto degree = static_cast<std::uint32_t>(graph_->degree(v));
+    bool any_delivered = false;
+    for (unsigned p = 0; p < pushes; ++p) {
+      const Vertex w = options_.weighted
+                           ? alias_->draw(*graph_, v, rng)
+                           : graph_->neighbor(v, rng.next_below32(degree));
+      if (fs.transmit(v, p, w)) {
+        apply(w);
+        any_delivered = true;
+      }
+    }
+    // Every push lost/blocked: the token is retained, not extinguished —
+    // faults delay coverage, they never kill the process.
+    if (!any_delivered) apply(v);
+  }
+
+  frontier_.swap(next_frontier_);
+  std::sort(frontier_.begin(), frontier_.end());
+  frontier_list_valid_ = true;
+  frontier_size_ = next_size;
+  visited_count_ += new_visits;
+  round_ = next_round;
+}
+
 namespace {
 
 SpreadResult run_to_cover(CobraProcess& process, Rng& rng) {

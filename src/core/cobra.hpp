@@ -140,10 +140,24 @@ class CobraProcess final : public Process {
 
  protected:
   void do_reset(std::span<const Vertex> starts) override { reset(starts); }
-  void do_step(Rng& rng) override { step(rng); }
+  void do_step(Rng& rng) override {
+    if (faults() != nullptr) {
+      step_faulty(rng);
+      return;
+    }
+    step(rng);
+  }
   bool curve_enabled() const override { return options_.record_curves; }
 
  private:
+  /// Fault-aware round (core/faults.hpp). Tokens are conserved, never
+  /// corrupted: a down frontier vertex keeps its token in place for the
+  /// round (so a start vertex that is down at round 0 simply waits — see
+  /// README "Fault model"), and a vertex whose every push was lost
+  /// retains its token instead of going extinct. Always uses the sparse
+  /// frontier representation; transmissions are counted per actual send.
+  void step_faulty(Rng& rng);
+
   /// Per-vertex stamps are *global* round numbers: round r of the current
   /// trial is stamp base_ + r, and every reset advances base_ past all
   /// stamps the previous trial could have written. Stale stamps therefore

@@ -18,9 +18,20 @@ std::size_t Process::curve_size_hint() const {
   return std::min(round_limit() + 1, kCurveReserveCap);
 }
 
+void Process::set_fault_model(const FaultModel* model) {
+  fault_session_ =
+      model != nullptr ? std::make_unique<FaultSession>(*model) : nullptr;
+}
+
 void Process::reset(Rng rng, std::span<const Vertex> starts) {
   do_reset(starts);  // may throw; old state stays intact, curve untouched
   rng_ = rng;
+  // Fault streams are seeded from one trial-RNG draw, so every fault
+  // decision is a pure function of (base seed, trial index, fault seed).
+  // The draw shifts the process's own stream — harmless, since fault-mode
+  // rounds are a different stream anyway, and with no model attached the
+  // stream is untouched.
+  if (fault_session_ != nullptr) fault_session_->begin_trial(rng_());
   curve_.clear();
   if (curve_enabled()) {
     // One-time reserve per workspace: long SIS/walk curves grow to their
@@ -34,6 +45,12 @@ void Process::reset(Rng rng, std::span<const Vertex> starts) {
 
 void Process::step() {
   const std::uint64_t tx_before = total_transmissions();
+  const std::uint64_t delivered_before =
+      fault_session_ != nullptr ? fault_session_->delivered_total() : 0;
+  // Fault decisions for the upcoming round are keyed by the round index
+  // before the step, and the round's up/awake masks are computed (and
+  // idle listening accrued) before the process reads them.
+  if (fault_session_ != nullptr) fault_session_->begin_round(round());
   do_step(rng_);
   if (curve_enabled()) append_curve_point();
   if (observer_ != nullptr) {
@@ -43,6 +60,10 @@ void Process::step() {
     stats.reached = reached_count();
     stats.total_transmissions = total_transmissions();
     stats.round_transmissions = stats.total_transmissions - tx_before;
+    if (fault_session_ != nullptr) {
+      stats.total_delivered = fault_session_->delivered_total();
+      stats.round_delivered = stats.total_delivered - delivered_before;
+    }
     observer_->on_round(*this, stats);
   }
 }
@@ -55,6 +76,12 @@ SpreadResult Process::result() const {
   result.curve = curve_;
   result.total_transmissions = total_transmissions();
   result.peak_vertex_round_transmissions = peak_vertex_round_transmissions();
+  if (fault_session_ != nullptr) {
+    result.delivered = fault_session_->delivered_total();
+    result.dropped_channel = fault_session_->dropped_total();
+    result.blocked_receiver = fault_session_->blocked_total();
+    result.energy = fault_session_->total_energy();
+  }
   return result;
 }
 

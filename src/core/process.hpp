@@ -35,15 +35,19 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "core/faults.hpp"
 #include "core/process_common.hpp"
 #include "graph/graph.hpp"
 #include "rand/rng.hpp"
 
 namespace cobra {
 
+class FaultModel;
+class FaultSession;
 class Process;
 
 /// Snapshot handed to RoundObserver::on_round after each step.
@@ -53,6 +57,11 @@ struct RoundStats {
   std::size_t reached = 0;  ///< reached/infected vertices right now
   std::uint64_t round_transmissions = 0;  ///< messages sent this round
   std::uint64_t total_transmissions = 0;  ///< messages sent since reset()
+  /// Fault-layer delivery metrics (zero without a FaultModel; see
+  /// core/faults.hpp). round_delivered / round_transmissions is the
+  /// round's packet-delivery ratio.
+  std::uint64_t round_delivered = 0;  ///< messages delivered this round
+  std::uint64_t total_delivered = 0;  ///< delivered since reset()
 };
 
 /// Per-round hook. Observers are borrowed (never owned) by the process and
@@ -84,6 +93,33 @@ class CurveObserver final : public RoundObserver {
 class Process {
  public:
   virtual ~Process() = default;
+
+  Process() = default;
+  /// Processes are copyable workspaces (trial loops copy per-thread
+  /// prototypes); an attached fault session is deep-copied and keeps
+  /// borrowing the same FaultModel.
+  Process(const Process& other)
+      : rng_(other.rng_),
+        observer_(other.observer_),
+        curve_(other.curve_),
+        fault_session_(other.fault_session_ == nullptr
+                           ? nullptr
+                           : std::make_unique<FaultSession>(
+                                 *other.fault_session_)) {}
+  Process& operator=(const Process& other) {
+    if (this != &other) {
+      rng_ = other.rng_;
+      observer_ = other.observer_;
+      curve_ = other.curve_;
+      fault_session_ = other.fault_session_ == nullptr
+                           ? nullptr
+                           : std::make_unique<FaultSession>(
+                                 *other.fault_session_);
+    }
+    return *this;
+  }
+  Process(Process&&) noexcept = default;
+  Process& operator=(Process&&) noexcept = default;
 
   /// Rewinds to round 0 with the given start/source set, capturing `rng`
   /// as the trial's randomness. Throws std::invalid_argument (before
@@ -136,6 +172,21 @@ class Process {
   /// Attaches (or detaches, with nullptr) the per-round hook.
   void set_observer(RoundObserver* observer) noexcept { observer_ = observer; }
 
+  /// Attaches a fault-injection model (core/faults.hpp): subsequent
+  /// resets derive per-trial fault streams and every step runs the
+  /// process's fault-aware round. The model is borrowed (never owned) and
+  /// must outlive the process; it must be sized for the process's graph.
+  /// nullptr detaches, restoring the untouched hot path. Allocates the
+  /// session workspace once at attach — never during trials. Call before
+  /// reset(); attaching mid-trial is undefined.
+  void set_fault_model(const FaultModel* model);
+
+  /// The live fault session (per-vertex tx/rx/listen counters, delivery
+  /// totals, energy); nullptr when no model is attached.
+  const FaultSession* fault_session() const noexcept {
+    return fault_session_.get();
+  }
+
  protected:
   /// Rewind all process state to round 0. Must validate-then-mutate so a
   /// throw leaves the previous trial's state intact.
@@ -155,6 +206,12 @@ class Process {
   /// walk's visit-event curve) append through this.
   std::vector<std::size_t>& mutable_curve() noexcept { return curve_; }
 
+  /// The mutable fault session for do_step implementations; nullptr when
+  /// no fault model is attached. A do_step whose session is non-null must
+  /// run its fault-aware round (step_faulty); the base step() has already
+  /// called begin_round for it.
+  FaultSession* faults() noexcept { return fault_session_.get(); }
+
   /// Cap on the curve_size_hint default, so a 2^28-step walk budget does
   /// not translate into a gigabyte reserve.
   static constexpr std::size_t kCurveReserveCap = std::size_t{1} << 16;
@@ -163,6 +220,7 @@ class Process {
   Rng rng_{0};
   RoundObserver* observer_ = nullptr;
   std::vector<std::size_t> curve_;
+  std::unique_ptr<FaultSession> fault_session_;
 };
 
 }  // namespace cobra

@@ -50,6 +50,14 @@ struct SpreadResult {
   /// Largest number of messages any single vertex sent in one round.
   std::uint64_t peak_vertex_round_transmissions = 0;
 
+  // ---- fault-layer metrics (all zero unless a FaultModel is attached;
+  // see core/faults.hpp). delivered + dropped_channel + blocked_receiver
+  // == total_transmissions under faults (conservation, tested). ----
+  std::uint64_t delivered = 0;         ///< messages that reached a receiver
+  std::uint64_t dropped_channel = 0;   ///< lost to channel drop
+  std::uint64_t blocked_receiver = 0;  ///< receiver down or asleep
+  double energy = 0.0;                 ///< total energy (FaultOptions units)
+
   /// Field-wise equality; the determinism tests compare whole results.
   friend bool operator==(const SpreadResult&, const SpreadResult&) = default;
 };

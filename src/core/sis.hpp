@@ -22,6 +22,11 @@ struct SisOptions {
   Branching branching = Branching::fixed(2);
   std::size_t max_rounds = 1u << 16;
   bool record_curve = true;
+  /// Weighted neighbour probes via the graph's alias tables (requires a
+  /// weighted graph); weighted = false leaves the uniform RNG stream
+  /// untouched. Applies to SisProcess only — the legacy run_sis oracle
+  /// stays uniform.
+  bool weighted = false;
 };
 
 enum class SisOutcome : std::uint8_t {
@@ -81,8 +86,17 @@ class SisProcess final : public Process {
   bool curve_enabled() const override { return options_.record_curve; }
 
  private:
+  /// Fault-aware round (core/faults.hpp): probes are request/response
+  /// pairs, so a down or asleep vertex — or one whose every probe was
+  /// lost — keeps its current state for the round (delay, never corrupt).
+  /// An infected sleeping vertex therefore cannot spuriously recover, and
+  /// faults alone never extinguish a live epidemic mid-round.
+  void step_faulty(Rng& rng);
+
   const Graph* graph_;
   SisOptions options_;
+  /// Alias tables for weighted probes; null when unweighted.
+  const GraphAliasTables* alias_ = nullptr;
   std::vector<char> infected_;
   std::vector<char> next_;
   std::size_t count_ = 0;

@@ -29,6 +29,16 @@ struct BranchingWalkOptions {
   /// message totals report a documented lower bound from then on).
   std::uint64_t vertex_cap = 1u << 20;
   bool record_curve = true;
+  /// Weighted spawn targets via the graph's alias tables (requires a
+  /// weighted graph): each spawn lands on neighbour w with probability
+  /// weight({v,w}) / strength(v). Applies to the per-particle path; the
+  /// saturated even-share split stays an even split (with populations
+  /// >= 64 * degree every neighbour's expected share is large whatever
+  /// the weights — the occupied-set dynamics, which are what the
+  /// ablation measures, are unaffected). false keeps the uniform draw
+  /// and its RNG stream. Applies to BranchingWalkProcess only — the
+  /// legacy run_branching_walk oracle stays uniform.
+  bool weighted = false;
 };
 
 /// Steppable branching walk with a reusable workspace (particle-count,
@@ -59,6 +69,8 @@ class BranchingWalkProcess final : public Process {
 
   /// Current particle population (capped).
   std::uint64_t population() const noexcept { return population_; }
+  /// Particles currently at `v` (diagnostics / distribution tests).
+  std::uint64_t particles_at(Vertex v) const { return counts_[v]; }
   /// True if any vertex hit the cap (message totals are lower bounds).
   bool saturated() const noexcept { return saturated_; }
 
@@ -71,8 +83,20 @@ class BranchingWalkProcess final : public Process {
   bool curve_enabled() const override { return options_.record_curve; }
 
  private:
+  /// Fault-aware round (core/faults.hpp): a down vertex's particles are
+  /// frozen in place (a down start vertex at round 0 simply waits — the
+  /// documented tolerate behaviour), and on the per-particle path a
+  /// particle whose every spawn was lost survives in place, so faults
+  /// never extinguish the population. The saturated even-share path
+  /// applies drops in expectation (share scaled by 1 - drop) and skips
+  /// receivers that cannot receive, recording the split through the
+  /// session's bulk counters so conservation holds exactly.
+  void step_faulty(Rng& rng);
+
   const Graph* graph_;
   BranchingWalkOptions options_;
+  /// Alias tables for weighted spawns; null when unweighted.
+  const GraphAliasTables* alias_ = nullptr;
   std::vector<std::uint64_t> counts_;
   std::vector<std::uint64_t> next_;
   std::vector<char> visited_;

@@ -17,6 +17,9 @@ FloodProcess::FloodProcess(const Graph& g, FloodOptions options)
 }
 
 std::uint64_t FloodProcess::peak_vertex_round_transmissions() const {
+  // Under faults a down hub genuinely sends nothing, so report the actual
+  // peak; the faults-off accounting keeps the legacy max-degree floor.
+  if (fault_session() != nullptr) return peak_;
   return std::max<std::uint64_t>(peak_, graph_->max_degree());
 }
 
@@ -40,7 +43,11 @@ void FloodProcess::do_reset(std::span<const Vertex> starts) {
   peak_ = 0;
 }
 
-void FloodProcess::do_step(Rng&) {
+void FloodProcess::do_step(Rng& rng) {
+  if (faults() != nullptr) {
+    step_faulty(rng);
+    return;
+  }
   const Graph& g = *graph_;
   // Every informed vertex sends to all neighbours; only frontier sends
   // can inform anyone new, but the message count charges everyone.
@@ -58,6 +65,33 @@ void FloodProcess::do_step(Rng&) {
     }
   }
   frontier_.swap(next_frontier_);
+  ++round_;
+}
+
+void FloodProcess::step_faulty(Rng&) {
+  FaultSession& fs = *faults();
+  const Graph& g = *graph_;
+  // frontier_ is the full informed list in fault mode (do_reset seeds it
+  // with the start; every newly informed vertex is appended below). Only
+  // the vertices informed at the start of the round send.
+  const std::size_t senders = frontier_.size();
+  std::uint64_t sends = 0;
+  for (std::size_t i = 0; i < senders; ++i) {
+    const Vertex v = frontier_[i];
+    if (!fs.can_send(v)) continue;  // down: silent this round
+    const auto degree = static_cast<std::uint64_t>(g.degree(v));
+    peak_ = std::max(peak_, degree);
+    sends += degree;
+    std::uint32_t index = 0;
+    for (const Vertex w : g.neighbors(v)) {
+      if (fs.transmit(v, index++, w) && !informed_[w]) {
+        informed_[w] = 1;
+        frontier_.push_back(w);
+        ++count_;
+      }
+    }
+  }
+  transmissions_ += sends;
   ++round_;
 }
 

@@ -49,6 +49,16 @@ class FloodProcess final : public Process {
   bool curve_enabled() const override { return options_.record_curve; }
 
  private:
+  /// Fault-aware round (core/faults.hpp). Under faults the BFS shortcut
+  /// (only frontier sends matter) is wrong — a lost edge message must be
+  /// retried — so frontier_ is repurposed as the full informed list and
+  /// EVERY up informed vertex re-sends to all neighbours each round
+  /// (Theta(informed-degree) messages per round, the honest flooding
+  /// cost). The list never empties, so done() reduces to full cover or
+  /// the round budget; transmissions and the per-vertex peak count actual
+  /// sends.
+  void step_faulty(Rng& rng);
+
   const Graph* graph_;
   FloodOptions options_;
   std::vector<char> informed_;

@@ -151,7 +151,7 @@ const std::vector<RegistryEntry>& registry() {
         {{"k", "int >= 1 (default 2) — particles spawned per particle"},
          {"max_rounds", "int (default 64) — abort threshold"},
          {"vertex_cap", "int (default 2^20) — per-vertex particle cap"},
-         kRecordCurve}},
+         kRecordCurve, kWeighted}},
        [](const Graph& g, Reader& p) -> std::unique_ptr<Process> {
          BranchingWalkOptions options;
          const std::int64_t k = p.get_int("k", 2);
@@ -166,6 +166,7 @@ const std::vector<RegistryEntry>& registry() {
          }
          options.vertex_cap = static_cast<std::uint64_t>(cap);
          options.record_curve = read_record_curve(p);
+         options.weighted = read_weighted(p, g, "branching-walk");
          return std::make_unique<BranchingWalkProcess>(g, options);
        }},
       {{"cobra",
@@ -227,13 +228,14 @@ const std::vector<RegistryEntry>& registry() {
         "source-free SIS epidemic (BIPS without the persistent source)",
         {kBranchingKeys[0], kBranchingKeys[1],
          {"max_rounds", "int (default 2^16) — abort threshold"},
-         kRecordCurve}},
+         kRecordCurve, kWeighted}},
        [](const Graph& g, Reader& p) -> std::unique_ptr<Process> {
          require_all_degrees(g, "sis");
          SisOptions options;
          options.branching = read_branching(p);
          options.max_rounds = read_max_rounds(p, 1u << 16);
          options.record_curve = read_record_curve(p);
+         options.weighted = read_weighted(p, g, "sis");
          return std::make_unique<SisProcess>(g, options);
        }},
       {{"walk",

@@ -48,6 +48,10 @@ void PushProcess::do_reset(std::span<const Vertex> starts) {
 }
 
 void PushProcess::do_step(Rng& rng) {
+  if (faults() != nullptr) {
+    step_faulty(rng);
+    return;
+  }
   const Graph& g = *graph_;
   const std::size_t senders = informed_list_.size();
   for (std::size_t i = 0; i < senders; ++i) {
@@ -64,6 +68,30 @@ void PushProcess::do_step(Rng& rng) {
   }
   transmissions_ += senders;
   peak_ = 1;
+  ++round_;
+}
+
+void PushProcess::step_faulty(Rng& rng) {
+  FaultSession& fs = *faults();
+  const Graph& g = *graph_;
+  const std::size_t senders = informed_list_.size();
+  std::uint64_t sends = 0;
+  for (std::size_t i = 0; i < senders; ++i) {
+    const Vertex v = informed_list_[i];
+    if (!fs.can_send(v)) continue;  // down: no push this round
+    const Vertex w =
+        alias_ != nullptr
+            ? alias_->draw(g, v, rng)
+            : g.neighbor(
+                  v, rng.next_below32(static_cast<std::uint32_t>(g.degree(v))));
+    ++sends;
+    if (fs.transmit(v, 0, w) && !informed_[w]) {
+      informed_[w] = 1;
+      informed_list_.push_back(w);
+    }
+  }
+  transmissions_ += sends;
+  if (sends > 0) peak_ = 1;
   ++round_;
 }
 

@@ -59,6 +59,12 @@ class PushProcess final : public Process {
   bool curve_enabled() const override { return options_.record_curve; }
 
  private:
+  /// Fault-aware round (core/faults.hpp): down senders skip the round
+  /// (informed membership is monotone, so nothing needs freezing), lost
+  /// or receiver-blocked pushes inform no one, and transmissions count
+  /// the sends actually made.
+  void step_faulty(Rng& rng);
+
   const Graph* graph_;
   PushOptions options_;
   /// Alias tables for weighted draws; null when unweighted.

@@ -76,7 +76,11 @@ class WalkProcess final : public Process {
   bool completed() const override {
     return visited_count_ == graph_->num_vertices();
   }
-  std::uint64_t total_transmissions() const override { return steps_; }
+  /// Faults-off: one token move per step. Under faults, the moves the
+  /// token actually attempted (a round spent down sends nothing).
+  std::uint64_t total_transmissions() const override {
+    return fault_session() != nullptr ? fault_tx_ : steps_;
+  }
   std::uint64_t peak_vertex_round_transmissions() const override { return 1; }
   std::size_t round_limit() const override { return options_.max_steps; }
 
@@ -92,6 +96,14 @@ class WalkProcess final : public Process {
   void append_curve_point() override;
 
  private:
+  /// Fault-aware step (core/faults.hpp): the step counter always advances
+  /// (a round passes whether or not the token can move, so an always-down
+  /// graph still exhausts the budget), but the token only attempts a move
+  /// while its vertex is up, and only moves if the hop is delivered. A
+  /// start vertex that is down at round 0 simply waits in place — the
+  /// documented tolerate behaviour for walk-style processes.
+  void step_faulty(Rng& rng);
+
   const Graph* graph_;
   RandomWalkOptions options_;
   /// Alias tables for weighted steps; null when unweighted.
@@ -100,6 +112,7 @@ class WalkProcess final : public Process {
   Vertex position_ = 0;
   std::size_t steps_ = 0;
   std::size_t visited_count_ = 0;
+  std::uint64_t fault_tx_ = 0;  ///< hops attempted under faults
 };
 
 /// Walks until every vertex is visited (or max_steps); SpreadResult.rounds

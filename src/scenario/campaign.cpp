@@ -7,6 +7,7 @@
 #include <mutex>
 #include <ostream>
 
+#include "core/faults.hpp"
 #include "scenario/graph_cache.hpp"
 #include "scenario/sink.hpp"
 #include "sim/sweep.hpp"
@@ -43,7 +44,7 @@ Graph build_graph_instance(const CampaignPlan& plan, const JobSpec& job) {
 }
 
 struct Axis {
-  int section;        ///< 0 = seeds, 1 = graph, 2 = process
+  int section;        ///< 0 = seeds, 1 = graph, 2 = process, 3 = faults
   std::size_t entry;  ///< entry position within the section
   std::vector<std::string> values;
 };
@@ -65,20 +66,46 @@ JobResult execute_job(const CampaignPlan& plan, const JobSpec& job,
                       const Graph& g) {
   // Qualified: the enclosing cobra:: namespace has the factory overload.
   const auto process = scenario::make_process(g, job.process);
+  // Optional fault layer: built per job (cheap — the model is a validated
+  // options holder) and attached before any reset, so every trial of the
+  // job runs the fault-aware rounds. With no [faults] section the process
+  // is never touched and the legacy path stays byte-identical.
+  std::unique_ptr<FaultModel> fault_model;
+  if (!job.faults.empty()) {
+    fault_model = std::make_unique<FaultModel>(
+        g.num_vertices(), parse_fault_options(job.faults));
+    process->set_fault_model(fault_model.get());
+  }
   const auto starts = spreadable_starts(g);
   const std::uint64_t job_seed = mix64(plan.base_seed, job.index);
   JobResult result;
   result.trials = plan.trials;
   result.graph_name = g.name();
+  result.faulty = fault_model != nullptr;
   OnlineStats rounds_stream;
   OnlineStats tx_stream;
+  OnlineStats pdr_stream;
+  OnlineStats energy_stream;
   std::vector<double> rounds_values;
   std::vector<double> tx_values;
+  std::vector<double> pdr_values;
+  std::vector<double> energy_values;
   rounds_values.reserve(plan.trials);
   tx_values.reserve(plan.trials);
+  if (result.faulty) {
+    pdr_values.reserve(plan.trials);
+    energy_values.reserve(plan.trials);
+  }
   for (std::size_t t = 0; t < plan.trials; ++t) {
     const SpreadResult trial = process->run(Rng::for_trial(job_seed, t),
                                             starts[t % starts.size()]);
+    if (result.faulty) {
+      // Raw delivery totals cover every trial, failed ones included —
+      // exactly what was spent, not just what succeeded.
+      result.delivered += trial.delivered;
+      result.dropped += trial.dropped_channel;
+      result.blocked += trial.blocked_receiver;
+    }
     if (!trial.completed) {
       ++result.failed;
       continue;
@@ -89,10 +116,27 @@ JobResult execute_job(const CampaignPlan& plan, const JobSpec& job,
     tx_stream.add(tx);
     rounds_values.push_back(rounds);
     tx_values.push_back(tx);
+    if (result.faulty) {
+      // Packet-delivery ratio; a trial that sent nothing (e.g. always
+      // down) has no deliveries, so 0 is the honest PDR.
+      const double pdr =
+          trial.total_transmissions > 0
+              ? static_cast<double>(trial.delivered) /
+                    static_cast<double>(trial.total_transmissions)
+              : 0.0;
+      pdr_stream.add(pdr);
+      energy_stream.add(trial.energy);
+      pdr_values.push_back(pdr);
+      energy_values.push_back(trial.energy);
+    }
   }
   if (!rounds_values.empty()) {
     result.rounds = summary_from(rounds_stream, rounds_values);
     result.transmissions = summary_from(tx_stream, tx_values);
+    if (result.faulty) {
+      result.pdr = summary_from(pdr_stream, pdr_values);
+      result.energy = summary_from(energy_stream, energy_values);
+    }
   }
   return result;
 }
@@ -114,10 +158,10 @@ CampaignPlan plan_campaign(const ScenarioSpec& spec) {
   // how experiment campaigns go subtly wrong.
   for (const auto& section : spec.sections()) {
     if (section.name != "campaign" && section.name != "graph" &&
-        section.name != "process") {
+        section.name != "process" && section.name != "faults") {
       throw SpecError(spec.source() + ":" + std::to_string(section.line) +
                       ": unknown section [" + section.name +
-                      "] (expected campaign/graph/process)");
+                      "] (expected campaign/graph/process/faults)");
     }
   }
   if (const SpecSection* campaign = spec.section("campaign")) {
@@ -171,10 +215,20 @@ CampaignPlan plan_campaign(const ScenarioSpec& spec) {
     throw SpecError(spec.source() + ":" + std::to_string(process->line) +
                     ": [process] needs 'name = <process>'");
   }
-  if (!is_process_name(process_name->value)) {
-    throw SpecError(spec.source() + ":" +
-                    std::to_string(process_name->line) +
-                    ": unknown process '" + process_name->value + "'");
+  // The process name itself may sweep ("name = cobra, push-pull, flood")
+  // so one campaign compares protocols on the same graphs and fault
+  // schedules; every swept name must be a known process.
+  const std::vector<std::string> process_names =
+      expand_values(process_name->value,
+                    spec.source() + ":" +
+                        std::to_string(process_name->line) +
+                        ": [process] name");
+  for (const std::string& name : process_names) {
+    if (!is_process_name(name)) {
+      throw SpecError(spec.source() + ":" +
+                      std::to_string(process_name->line) +
+                      ": unknown process '" + name + "'");
+    }
   }
 
   // Reject typo'd parameter keys at plan time so --dry-run vets the whole
@@ -190,15 +244,30 @@ CampaignPlan plan_campaign(const ScenarioSpec& spec) {
   }
   for (const auto& entry : process->entries) {
     if (entry.key == "name") continue;
-    if (!process_has_param(process_name->value, entry.key)) {
-      throw SpecError(spec.source() + ":" + std::to_string(entry.line) +
-                      ": process '" + process_name->value +
-                      "' has no parameter '" + entry.key + "'");
+    // With a swept name, every other [process] key must be meaningful for
+    // every process in the sweep — a key only some of them accept would
+    // silently change the comparison.
+    for (const std::string& name : process_names) {
+      if (!process_has_param(name, entry.key)) {
+        throw SpecError(spec.source() + ":" + std::to_string(entry.line) +
+                        ": process '" + name + "' has no parameter '" +
+                        entry.key + "'");
+      }
+    }
+  }
+  const SpecSection* faults = spec.section("faults");
+  if (faults != nullptr) {
+    for (const auto& entry : faults->entries) {
+      if (!fault_has_param(entry.key)) {
+        throw SpecError(spec.source() + ":" + std::to_string(entry.line) +
+                        ": unknown [faults] key '" + entry.key +
+                        "' (scenario_runner --list prints the accepted set)");
+      }
     }
   }
 
   // Sweep axes: seeds slowest, then [graph] keys in declaration order,
-  // then [process] keys (last key fastest).
+  // then [process] keys, then [faults] keys (last key fastest).
   std::vector<Axis> axes;
   axes.push_back({0, 0,
                   expand_values(spec.get("campaign", "seeds", "0"),
@@ -207,10 +276,9 @@ CampaignPlan plan_campaign(const ScenarioSpec& spec) {
                                                int section_id) {
     for (std::size_t i = 0; i < section.entries.size(); ++i) {
       const SpecEntry& entry = section.entries[i];
-      // 'family'/'name' dispatch keys and file paths never sweep (paths
-      // legitimately contain '..').
-      if (entry.key == "family" || entry.key == "name" ||
-          entry.key == "file") {
+      // The 'family' dispatch key and file paths never sweep (paths
+      // legitimately contain '..'); the process 'name' does.
+      if (entry.key == "family" || entry.key == "file") {
         axes.push_back({section_id, i, {entry.value}});
         continue;
       }
@@ -223,6 +291,7 @@ CampaignPlan plan_campaign(const ScenarioSpec& spec) {
   };
   add_section_axes(*graph, 1);
   add_section_axes(*process, 2);
+  if (faults != nullptr) add_section_axes(*faults, 3);
 
   std::size_t total = 1;
   constexpr std::size_t kMaxJobs = 200000;
@@ -240,6 +309,7 @@ CampaignPlan plan_campaign(const ScenarioSpec& spec) {
     job.index = index;
     job.graph.resize(graph->entries.size());
     job.process.resize(process->entries.size());
+    if (faults != nullptr) job.faults.resize(faults->entries.size());
     std::size_t residual = index;
     std::size_t stride = total;
     for (const Axis& axis : axes) {
@@ -253,8 +323,21 @@ CampaignPlan plan_campaign(const ScenarioSpec& spec) {
         case 1:
           job.graph[axis.entry] = {graph->entries[axis.entry].key, value};
           break;
-        default:
+        case 2:
           job.process[axis.entry] = {process->entries[axis.entry].key, value};
+          break;
+        default:
+          job.faults[axis.entry] = {faults->entries[axis.entry].key, value};
+      }
+    }
+    // Vet every fault combination at plan time, so --dry-run (which only
+    // plans) rejects malformed values before any compute is spent.
+    if (!job.faults.empty()) {
+      try {
+        (void)parse_fault_options(job.faults);
+      } catch (const std::invalid_argument& e) {
+        throw SpecError(spec.source() + ": job " + std::to_string(index) +
+                        ": [faults] " + e.what());
       }
     }
     plan.jobs.push_back(std::move(job));
@@ -267,6 +350,9 @@ CampaignPlan plan_campaign(const ScenarioSpec& spec) {
     fp = fnv1a(std::to_string(job.seed_index), fp);
     fp = fnv1a(canonical_params(job.graph), fp);
     fp = fnv1a(canonical_params(job.process), fp);
+    // No [faults] canonicalises to "" — a no-op for fnv1a — so every
+    // pre-fault-layer fingerprint (and journal) stays valid.
+    fp = fnv1a(canonical_params(job.faults), fp);
   }
   plan.fingerprint = fp;
   return plan;
@@ -385,7 +471,10 @@ CampaignResult run_campaign(const CampaignPlan& plan,
     if (!jsonl || !csv) {
       throw SpecError("cannot write campaign outputs at stem '" + stem + "'");
     }
-    csv << csv_header() << '\n';
+    const bool faulty =
+        std::any_of(plan.jobs.begin(), plan.jobs.end(),
+                    [](const JobSpec& j) { return !j.faults.empty(); });
+    csv << csv_header(faulty) << '\n';
     for (const JobSpec& job : plan.jobs) {
       const JobResult& job_result = *result.jobs[job.index];
       jsonl << jsonl_record(plan, job, job_result) << '\n';

@@ -40,6 +40,9 @@ struct JobSpec {
   std::uint64_t seed_index = 0; ///< value of the seeds axis
   ParamMap graph;               ///< scalar graph params incl. "family"
   ParamMap process;             ///< scalar process params incl. "name"
+  /// Scalar [faults] params (core/faults.hpp keys); empty = no fault
+  /// model, the byte-identical legacy path.
+  ParamMap faults;
 };
 
 struct CampaignPlan {
@@ -66,6 +69,14 @@ struct JobResult {
   Summary rounds;             ///< over completed trials (count 0 if none)
   Summary transmissions;
   std::string graph_name;     ///< generator-assigned instance name
+  // ---- fault-layer aggregates (faulty == the job ran under a [faults]
+  // section; all zero otherwise and absent from the sinks/journal) ----
+  bool faulty = false;
+  Summary pdr;     ///< delivered / tx per completed trial (0 when tx == 0)
+  Summary energy;  ///< total energy per completed trial (FaultOptions units)
+  std::uint64_t delivered = 0;  ///< summed over ALL trials, failed included
+  std::uint64_t dropped = 0;    ///< lost to channel drop, all trials
+  std::uint64_t blocked = 0;    ///< receiver down/asleep, all trials
 };
 
 struct CampaignOptions {

@@ -153,15 +153,36 @@ std::string jsonl_record(const CampaignPlan& plan, const JobSpec& job,
   append_summary_object(out, result.rounds);
   out += ",\"transmissions\":";
   append_summary_object(out, result.transmissions);
+  if (result.faulty) {
+    out += ",\"faults\":";
+    append_params_object(out, job.faults);
+    out += ",\"pdr\":";
+    append_summary_object(out, result.pdr);
+    out += ",\"energy\":";
+    append_summary_object(out, result.energy);
+    std::snprintf(buf, sizeof buf,
+                  ",\"delivered\":%llu,\"dropped\":%llu,\"blocked\":%llu",
+                  static_cast<unsigned long long>(result.delivered),
+                  static_cast<unsigned long long>(result.dropped),
+                  static_cast<unsigned long long>(result.blocked));
+    out += buf;
+  }
   out += '}';
   return out;
 }
 
-std::string csv_header() {
-  return "job,seed,graph_name,family,graph_params,process,process_params,"
-         "trials,failed,rounds_count,rounds_mean,rounds_stddev,rounds_min,"
-         "rounds_median,rounds_p90,rounds_p99,rounds_max,tx_mean,tx_p90,"
-         "tx_max";
+std::string csv_header(bool faults) {
+  std::string out =
+      "job,seed,graph_name,family,graph_params,process,process_params,"
+      "trials,failed,rounds_count,rounds_mean,rounds_stddev,rounds_min,"
+      "rounds_median,rounds_p90,rounds_p99,rounds_max,tx_mean,tx_p90,"
+      "tx_max";
+  if (faults) {
+    out +=
+        ",fault_params,pdr_mean,pdr_min,energy_mean,energy_max,"
+        "delivered,dropped,blocked";
+  }
+  return out;
 }
 
 std::string csv_row(const CampaignPlan& plan, const JobSpec& job,
@@ -198,6 +219,20 @@ std::string csv_row(const CampaignPlan& plan, const JobSpec& job,
     first = false;
     out += format_double(value);
   }
+  if (result.faulty) {
+    out += ',';
+    out += csv_escape(params_compact(job.faults, ""));
+    for (const double value : {result.pdr.mean, result.pdr.min,
+                               result.energy.mean, result.energy.max}) {
+      out += ',';
+      out += format_double(value);
+    }
+    std::snprintf(buf, sizeof buf, ",%llu,%llu,%llu",
+                  static_cast<unsigned long long>(result.delivered),
+                  static_cast<unsigned long long>(result.dropped),
+                  static_cast<unsigned long long>(result.blocked));
+    out += buf;
+  }
   return out;
 }
 
@@ -206,6 +241,16 @@ std::string serialize_job_result(const JobResult& result) {
   os << result.trials << ' ' << result.failed;
   append_summary_payload(os, result.rounds);
   append_summary_payload(os, result.transmissions);
+  // The optional fault block ("F" marker + pdr/energy summaries + raw
+  // delivery totals) sits before the graph name; faults-off payloads are
+  // byte-identical to the pre-fault-layer format, so old journals resume.
+  if (result.faulty) {
+    os << " F";
+    append_summary_payload(os, result.pdr);
+    append_summary_payload(os, result.energy);
+    os << ' ' << result.delivered << ' ' << result.dropped << ' '
+       << result.blocked;
+  }
   os << ' ' << result.graph_name;
   return os.str();
 }
@@ -215,6 +260,25 @@ bool parse_job_result(const std::string& payload, JobResult& result) {
   if (!(is >> result.trials >> result.failed)) return false;
   if (!read_summary_payload(is, result.rounds)) return false;
   if (!read_summary_payload(is, result.transmissions)) return false;
+  result.faulty = false;
+  result.pdr = Summary{};
+  result.energy = Summary{};
+  result.delivered = result.dropped = result.blocked = 0;
+  const std::istringstream::pos_type before_marker = is.tellg();
+  std::string marker;
+  if (is >> marker && marker == "F") {
+    result.faulty = true;
+    if (!read_summary_payload(is, result.pdr)) return false;
+    if (!read_summary_payload(is, result.energy)) return false;
+    if (!(is >> result.delivered >> result.dropped >> result.blocked)) {
+      return false;
+    }
+  } else {
+    // Legacy faults-off payload — rewind so the token is re-read as (the
+    // head of) the graph name.
+    is.clear();
+    is.seekg(before_marker);
+  }
   is.get();  // the separating space
   std::getline(is, result.graph_name);
   return !result.graph_name.empty();

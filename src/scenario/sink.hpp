@@ -29,7 +29,10 @@ std::string format_double(double value);
 std::string jsonl_record(const CampaignPlan& plan, const JobSpec& job,
                          const JobResult& result);
 
-std::string csv_header();
+/// CSV column line; faults=true appends the fault-layer columns (PDR,
+/// energy, delivered/dropped/blocked totals). Campaigns without a [faults]
+/// section keep the legacy header byte-for-byte.
+std::string csv_header(bool faults = false);
 std::string csv_row(const CampaignPlan& plan, const JobSpec& job,
                     const JobResult& result);
 

@@ -19,6 +19,8 @@
 
 #include "core/cobra.hpp"
 #include "core/process_factory.hpp"
+#include "core/sis.hpp"
+#include "protocols/branching_walk.hpp"
 #include "graph/builder.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
@@ -436,11 +438,29 @@ TEST(WeightedProcess, AllSixVariantsRunAndAreDeterministic) {
   }
 }
 
+TEST(WeightedProcess, SisAndBranchingWalkVariantsRunAndAreDeterministic) {
+  // The weighted routing satellite: both processes accept weighted=1 and
+  // produce identical results for identical seeds (neither is required to
+  // complete — SIS can die out, the branching walk can hit its budget).
+  Rng rng(40);
+  Graph g = gen::random_regular(96, 6, rng);
+  gen::generate_weights(g, gen::WeightKind::kExp, 23);
+  for (const char* name : {"sis", "branching-walk"}) {
+    const auto process_a = make_process(g, params_for(name, true));
+    const auto process_b = make_process(g, params_for(name, true));
+    const SpreadResult a = process_a->run(Rng::for_trial(8, 2), 0);
+    const SpreadResult b = process_b->run(Rng::for_trial(8, 2), 0);
+    EXPECT_EQ(a.rounds, b.rounds) << name;
+    EXPECT_EQ(a.total_transmissions, b.total_transmissions) << name;
+    EXPECT_EQ(a.curve, b.curve) << name;
+  }
+}
+
 TEST(WeightedProcess, WeightedFlagOnUnweightedGraphFailsLoudly) {
   Rng rng(42);
   const Graph g = gen::random_regular(32, 4, rng);
-  for (const char* name :
-       {"cobra", "bips", "push", "pull", "push-pull", "walk"}) {
+  for (const char* name : {"cobra", "bips", "push", "pull", "push-pull",
+                           "walk", "sis", "branching-walk"}) {
     EXPECT_THROW(make_process(g, params_for(name, true)),
                  ProcessFactoryError)
         << name;
@@ -456,8 +476,8 @@ TEST(WeightedProcess, WeightedFalseIsBitwiseIdenticalToUnweightedGraph) {
   Graph weighted_graph = gen::random_regular(256, 8, rng);
   gen::generate_weights(weighted_graph, gen::WeightKind::kUniform, 3);
   const Graph plain = weighted_graph.strip_weights();
-  for (const char* name :
-       {"cobra", "bips", "push", "pull", "push-pull", "walk"}) {
+  for (const char* name : {"cobra", "bips", "push", "pull", "push-pull",
+                           "walk", "sis", "branching-walk"}) {
     const auto on_weighted =
         make_process(weighted_graph, params_for(name, false));
     const auto on_plain = make_process(plain, params_for(name, false));
@@ -494,6 +514,69 @@ TEST(WeightedProcess, ExtremeWeightsSteerCobra) {
     landed_on_1 += process.frontier().front() == 1 ? 1 : 0;
   }
   EXPECT_GT(landed_on_1, trials - 50);  // P(heavy) = 1e6/(1e6+1)
+}
+
+/// Weighted star for the sis / branching-walk chi-square coverage: center
+/// 0 with three leaves whose edge weights differ by two orders of
+/// magnitude, so a misrouted (uniform) draw fails the test immediately.
+Graph weighted_star() {
+  std::stringstream buffer("n 4\n0 1 10\n0 2 1\n0 3 0.1\n");
+  return read_edge_list(buffer, "weighted_star");
+}
+
+TEST(WeightedProcess, SisDrawsFollowAliasTables) {
+  // One infected leaf; after a single k=1 round the center is infected
+  // iff its one weighted draw hit that leaf: P = w1 / (w1 + w2 + w3).
+  const Graph g = weighted_star();
+  SisOptions options;
+  options.branching = Branching::fixed(1);
+  options.max_rounds = 1;
+  options.record_curve = false;
+  options.weighted = true;
+  SisProcess process(g, options);
+  const std::size_t trials = 20000;
+  std::uint64_t hits = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    (void)process.run(Rng::for_trial(606, t), Vertex{1});
+    hits += process.is_infected(0) ? 1 : 0;
+  }
+  const double p = 10.0 / 11.1;
+  const std::vector<std::uint64_t> observed = {hits, trials - hits};
+  const std::vector<double> expected = {static_cast<double>(trials) * p,
+                                        static_cast<double>(trials) *
+                                            (1.0 - p)};
+  const auto result = chi_square_test(observed, expected);
+  EXPECT_GT(result.p_value, 1e-3)
+      << "hits=" << hits << " chi2=" << result.statistic;
+}
+
+TEST(WeightedProcess, BranchingWalkDrawsFollowAliasTables) {
+  // A single particle at the center with k=1 lands on leaf i after one
+  // round with probability w_i / strength.
+  const Graph g = weighted_star();
+  BranchingWalkOptions options;
+  options.k = 1;
+  options.max_rounds = 1;
+  options.record_curve = false;
+  options.weighted = true;
+  BranchingWalkProcess process(g, options);
+  const std::size_t trials = 20000;
+  std::vector<std::uint64_t> observed(3, 0);
+  for (std::size_t t = 0; t < trials; ++t) {
+    (void)process.run(Rng::for_trial(707, t), Vertex{0});
+    ASSERT_EQ(process.population(), 1u);
+    for (Vertex leaf = 1; leaf <= 3; ++leaf) {
+      if (process.particles_at(leaf) > 0) ++observed[leaf - 1];
+    }
+  }
+  const double weights[] = {10.0, 1.0, 0.1};
+  const double strength = 11.1;
+  std::vector<double> expected;
+  for (const double w : weights) {
+    expected.push_back(static_cast<double>(trials) * w / strength);
+  }
+  const auto result = chi_square_test(observed, expected);
+  EXPECT_GT(result.p_value, 1e-3) << "chi2=" << result.statistic;
 }
 
 // ---- scenario integration ----
@@ -534,6 +617,8 @@ TEST(WeightedScenario, UniversalKeysAndMemoryEstimate) {
   EXPECT_FALSE(scenario::graph_family_has_param("nope", "weight"));
   EXPECT_TRUE(process_has_param("cobra", "weighted"));
   EXPECT_TRUE(process_has_param("walk", "weighted"));
+  EXPECT_TRUE(process_has_param("sis", "weighted"));
+  EXPECT_TRUE(process_has_param("branching-walk", "weighted"));
   EXPECT_FALSE(process_has_param("flood", "weighted"));
 
   const scenario::ParamMap params{{"family", "random_regular"},

@@ -17,6 +17,7 @@
 #include <iostream>
 #include <string>
 
+#include "core/faults.hpp"
 #include "scenario/campaign.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/sink.hpp"
@@ -79,6 +80,10 @@ void print_registries() {
     for (const auto& param : spec.params) {
       std::printf("  %-24s   %s: %s\n", "", param.key, param.doc);
     }
+  }
+  std::printf("\nfault layer (accepted [faults] keys; every key sweeps):\n");
+  for (const FaultParamSpec& param : fault_param_specs()) {
+    std::printf("  %-24s %s\n", param.key, param.doc);
   }
 }
 
@@ -173,12 +178,21 @@ int main(int argc, char** argv) {
         const std::uint64_t alias_bytes =
             (weighted != nullptr && *weighted != "0") ? est.endpoints * 8
                                                       : 0;
+        // The fault session workspace is per-process (per worker thread);
+        // fold one session into the job's memory line so fault campaigns
+        // sanity-check like weighted ones do.
+        const std::uint64_t fault_bytes =
+            job.faults.empty() ? 0 : fault_session_bytes(est.n);
         std::printf("  job %zu seed=%llu graph{%s} process{%s}", job.index,
                     static_cast<unsigned long long>(job.seed_index),
                     canonical_params(job.graph).c_str(),
                     canonical_params(job.process).c_str());
+        if (!job.faults.empty()) {
+          std::printf(" faults{%s}", canonical_params(job.faults).c_str());
+        }
         if (est.known) {
-          const std::uint64_t total = est.total_bytes() + alias_bytes;
+          const std::uint64_t total =
+              est.total_bytes() + alias_bytes + fault_bytes;
           std::printf(" mem~%s (n=%llu, 2m=%llu, offsets=%zu-bit",
                       human_bytes(total).c_str(),
                       static_cast<unsigned long long>(est.n),
@@ -190,6 +204,9 @@ int main(int argc, char** argv) {
           }
           if (alias_bytes > 0) {
             std::printf(", alias +%s", human_bytes(alias_bytes).c_str());
+          }
+          if (fault_bytes > 0) {
+            std::printf(", faults +%s", human_bytes(fault_bytes).c_str());
           }
           std::printf(")\n");
           if (total > peak_total) {
