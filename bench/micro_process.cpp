@@ -20,6 +20,8 @@
 
 #include "core/process_factory.hpp"
 #include "graph/generators.hpp"
+#include "obs/metrics.hpp"
+#include "obs/rounds.hpp"
 #include "rand/rng.hpp"
 #include "util/flags.hpp"
 #include "util/scale.hpp"
@@ -86,6 +88,82 @@ struct BenchRow {
                : 0;
   }
 };
+
+// ---------------------------------------------------------------------------
+// Telemetry-overhead leg: the same trial loop with the campaign's
+// telemetry instrumentation attached (metrics counter + histogram update
+// per trial, RoundRecorder observer sampling every round) versus bare.
+// The rounds *sink* is deliberately excluded — campaigns record only the
+// first rounds_trials trials per job, so file writes are not steady
+// state. Interleaved repetitions with min-time-per-leg de-noise the
+// comparison; the gate (<= 3% overhead, zero steady allocations) fails
+// the bench's exit status, which CI treats as a regression.
+// ---------------------------------------------------------------------------
+
+struct TelemetryBench {
+  std::size_t trials = 0;
+  std::uint64_t steady_allocations = 0;  ///< telemetry legs after warm-up
+  double plain_seconds = 0;      ///< min over reps, telemetry detached
+  double telemetry_seconds = 0;  ///< min over reps, telemetry attached
+
+  double overhead() const {
+    return plain_seconds > 0 ? telemetry_seconds / plain_seconds - 1.0 : 0;
+  }
+};
+
+TelemetryBench bench_telemetry(const Graph& g, std::uint64_t seed,
+                               std::size_t trials, std::size_t reps) {
+  ProcessParams params;
+  params.emplace_back("record_curve", "0");
+  const auto process = make_process(g, "cobra", params);
+  const std::size_t n = g.num_vertices();
+
+  obs::MetricsRegistry registry;
+  const obs::CounterId trials_done = registry.counter("trials_done");
+  const obs::HistogramId trial_rounds = registry.histogram("trial_rounds", 1.0);
+  obs::RoundRecorder recorder(1);
+
+  TelemetryBench result;
+  result.trials = trials;
+  const auto run_leg = [&](bool telemetry) {
+    process->set_observer(telemetry ? &recorder : nullptr);
+    Stopwatch watch;
+    for (std::size_t i = 0; i < trials; ++i) {
+      process->reset(Rng::for_trial(seed, i), static_cast<Vertex>(i % n));
+      while (!process->done()) process->step();
+      if (telemetry) {
+        registry.add(trials_done);
+        registry.observe(trial_rounds, static_cast<double>(process->round()));
+      }
+    }
+    return watch.seconds();
+  };
+
+  // Warm-up both legs: first-touch shard allocation, recorder buffer
+  // growth to the trial set's max round count (reps reuse the same trial
+  // seeds, so capacity cannot grow again), process workspace.
+  run_leg(false);
+  run_leg(true);
+
+  result.plain_seconds = -1;
+  result.telemetry_seconds = -1;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    const double plain = run_leg(false);
+    const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+    const double telemetry = run_leg(true);
+    result.steady_allocations +=
+        g_allocations.load(std::memory_order_relaxed) - before;
+    if (result.plain_seconds < 0 || plain < result.plain_seconds) {
+      result.plain_seconds = plain;
+    }
+    if (result.telemetry_seconds < 0 ||
+        telemetry < result.telemetry_seconds) {
+      result.telemetry_seconds = telemetry;
+    }
+  }
+  process->set_observer(nullptr);
+  return result;
+}
 
 BenchRow bench_process(const Graph& g, const std::string& name,
                        ProcessParams params, std::uint64_t seed,
@@ -163,6 +241,23 @@ int main(int argc, char** argv) {
                     "registry\n"
                   : "steady state: some processes still allocate per trial\n");
 
+  // Telemetry-overhead gate: <= --telemetry-overhead-pct (default 3) and
+  // zero steady-state allocations with the full per-trial instrumentation
+  // attached, or the bench exits nonzero.
+  const double overhead_limit =
+      flags.get_double("telemetry-overhead-pct", 3.0) / 100.0;
+  const TelemetryBench telemetry =
+      bench_telemetry(g, seed, trials * 4, /*reps=*/5);
+  const bool telemetry_ok = telemetry.steady_allocations == 0 &&
+                            telemetry.overhead() <= overhead_limit;
+  std::printf(
+      "telemetry leg (cobra, %zu trials, min of 5 reps): plain %.6fs, "
+      "instrumented %.6fs, overhead %+.2f%%, steady allocs %llu%s\n",
+      telemetry.trials, telemetry.plain_seconds, telemetry.telemetry_seconds,
+      telemetry.overhead() * 100.0,
+      static_cast<unsigned long long>(telemetry.steady_allocations),
+      telemetry_ok ? "" : "  [FAIL]");
+
   FILE* out = std::fopen(out_path.c_str(), "w");
   if (!out) {
     std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
@@ -192,12 +287,21 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(row.total_rounds), row.steady_seconds,
         row.rounds_per_sec(), i + 1 < rows.size() ? "," : "");
   }
-  std::fprintf(out, "  ]\n}\n");
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out,
+               "  \"telemetry\": {\"trials\": %zu, \"plain_seconds\": %.6f, "
+               "\"telemetry_seconds\": %.6f, \"overhead_pct\": %.2f, "
+               "\"steady_allocations\": %llu, \"pass\": %s}\n",
+               telemetry.trials, telemetry.plain_seconds,
+               telemetry.telemetry_seconds, telemetry.overhead() * 100.0,
+               static_cast<unsigned long long>(telemetry.steady_allocations),
+               telemetry_ok ? "true" : "false");
+  std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("wrote %s\n", out_path.c_str());
 
   for (const auto& name : flags.unconsumed()) {
     std::fprintf(stderr, "warning: unrecognized flag --%s\n", name.c_str());
   }
-  return all_zero ? 0 : 1;
+  return all_zero && telemetry_ok ? 0 : 1;
 }

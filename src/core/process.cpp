@@ -63,6 +63,9 @@ void Process::step() {
     if (fault_session_ != nullptr) {
       stats.total_delivered = fault_session_->delivered_total();
       stats.round_delivered = stats.total_delivered - delivered_before;
+      stats.total_dropped = fault_session_->dropped_total();
+      stats.total_blocked = fault_session_->blocked_total();
+      stats.energy = fault_session_->total_energy();
     }
     observer_->on_round(*this, stats);
   }

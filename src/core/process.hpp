@@ -62,6 +62,9 @@ struct RoundStats {
   /// round's packet-delivery ratio.
   std::uint64_t round_delivered = 0;  ///< messages delivered this round
   std::uint64_t total_delivered = 0;  ///< delivered since reset()
+  std::uint64_t total_dropped = 0;    ///< lost to channel drop since reset()
+  std::uint64_t total_blocked = 0;    ///< receiver down/asleep since reset()
+  double energy = 0.0;  ///< fault-model energy accrued since reset()
 };
 
 /// Per-round hook. Observers are borrowed (never owned) by the process and

@@ -1,0 +1,156 @@
+// SPDX-License-Identifier: MIT
+#include "obs/progress.hpp"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace cobra::obs {
+
+std::uint64_t peak_rss_bytes() {
+#if defined(__linux__)
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    std::uint64_t kib = 0;
+    if (std::sscanf(line.c_str(), "VmHWM: %" SCNu64 " kB", &kib) == 1) {
+      return kib * 1024;
+    }
+  }
+#endif
+  return 0;
+}
+
+namespace {
+
+/// %.17g is overkill for telemetry; %.6g keeps status.json readable.
+void append_number(std::string& out, double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  out += buf;
+}
+
+}  // namespace
+
+std::string render_status_json(const ProgressSnapshot& s) {
+  std::string out;
+  out.reserve(512);
+  char buf[192];
+  out += "{\"campaign\":\"";
+  for (const char c : s.campaign) {  // names come from specs; keep it safe
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) >= 0x20) out += c;
+  }
+  std::snprintf(buf, sizeof buf,
+                "\",\"jobs_total\":%zu,\"jobs_done\":%zu,"
+                "\"jobs_resumed\":%zu,\"trials_done\":%llu",
+                s.jobs_total, s.jobs_done, s.jobs_resumed,
+                static_cast<unsigned long long>(s.trials_done));
+  out += buf;
+  out += ",\"elapsed_seconds\":";
+  append_number(out, s.elapsed_seconds);
+  out += ",\"trials_per_sec\":";
+  append_number(out, s.trials_per_sec);
+  out += ",\"eta_seconds\":";
+  append_number(out, s.eta_seconds);
+  std::snprintf(buf, sizeof buf,
+                ",\"peak_rss_bytes\":%llu,\"graph_builds\":%llu,"
+                "\"graph_build_seconds\":",
+                static_cast<unsigned long long>(s.peak_rss_bytes),
+                static_cast<unsigned long long>(s.graph_builds));
+  out += buf;
+  append_number(out, s.graph_build_seconds);
+  out += ",\"workers\":[";
+  for (std::size_t i = 0; i < s.workers.size(); ++i) {
+    const ProgressSnapshot::Worker& w = s.workers[i];
+    if (i > 0) out += ',';
+    std::snprintf(buf, sizeof buf, "{\"chunks\":%llu,\"busy_seconds\":",
+                  static_cast<unsigned long long>(w.chunks));
+    out += buf;
+    append_number(out, w.busy_seconds);
+    out += ",\"utilization\":";
+    append_number(out, w.utilization);
+    out += '}';
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool write_status_json(const std::string& path,
+                       const ProgressSnapshot& snapshot) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << render_status_json(snapshot);
+    out.flush();
+    if (!out) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+std::string render_heartbeat(const ProgressSnapshot& s) {
+  char buf[224];
+  std::string eta = "?";
+  if (s.eta_seconds >= 0.0) {
+    char eta_buf[32];
+    std::snprintf(eta_buf, sizeof eta_buf, "%.0fs", s.eta_seconds);
+    eta = eta_buf;
+  }
+  std::snprintf(buf, sizeof buf,
+                "[progress] %zu/%zu jobs (%zu resumed), %llu trials, "
+                "%.1f trials/s, eta %s, rss %.1fMiB",
+                s.jobs_done, s.jobs_total, s.jobs_resumed,
+                static_cast<unsigned long long>(s.trials_done),
+                s.trials_per_sec, eta.c_str(),
+                static_cast<double>(s.peak_rss_bytes) / (1 << 20));
+  return buf;
+}
+
+ProgressReporter::ProgressReporter(Options options,
+                                   std::function<ProgressSnapshot()> sample)
+    : options_(std::move(options)), sample_(std::move(sample)) {
+  if (options_.interval_seconds <= 0.0) options_.interval_seconds = 2.0;
+  thread_ = std::thread([this] {
+    std::unique_lock lock(mutex_);
+    while (!stopping_) {
+      const auto interval = std::chrono::duration<double>(
+          options_.interval_seconds);
+      if (wake_.wait_for(lock, interval, [this] { return stopping_; })) {
+        break;
+      }
+      lock.unlock();
+      tick();
+      lock.lock();
+    }
+  });
+}
+
+void ProgressReporter::tick() {
+  const ProgressSnapshot snapshot = sample_();
+  if (options_.heartbeat != nullptr) {
+    *options_.heartbeat << render_heartbeat(snapshot) << std::endl;
+  }
+  if (!options_.status_path.empty()) {
+    (void)write_status_json(options_.status_path, snapshot);
+  }
+}
+
+void ProgressReporter::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  thread_.join();
+  tick();  // final state: status.json always ends at jobs_done == total
+}
+
+ProgressReporter::~ProgressReporter() { stop(); }
+
+}  // namespace cobra::obs

@@ -1,0 +1,102 @@
+// SPDX-License-Identifier: MIT
+//
+// Live campaign progress: a background reporter thread that, on a
+// configurable interval, samples a caller-supplied snapshot and
+//  * prints a one-line heartbeat to a stream (stderr by default), and
+//  * atomically rewrites a machine-readable status.json (temp + rename,
+//    so a reader never observes a torn file).
+//
+// The reporter only *reads* telemetry (metrics shards, pool counters) —
+// the workers never block on it, and a campaign without a reporter runs
+// the exact same instructions as before this layer existed.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cobra::obs {
+
+/// One sampled view of a running campaign — everything status.json and
+/// the heartbeat line carry. Producers fill what they know; zero/empty
+/// fields render as such.
+struct ProgressSnapshot {
+  std::string campaign;
+  std::size_t jobs_total = 0;
+  std::size_t jobs_done = 0;     ///< includes resumed
+  std::size_t jobs_resumed = 0;
+  std::uint64_t trials_done = 0; ///< executed this invocation
+  std::uint64_t graph_builds = 0;
+  double graph_build_seconds = 0.0;
+  double elapsed_seconds = 0.0;
+  double trials_per_sec = 0.0;
+  /// Seconds to completion extrapolated from the jobs-done rate; < 0
+  /// when unknown (nothing finished yet).
+  double eta_seconds = -1.0;
+  std::uint64_t peak_rss_bytes = 0;
+  /// Per-worker pool telemetry (empty when the pool is not instrumented).
+  struct Worker {
+    std::uint64_t chunks = 0;
+    double busy_seconds = 0.0;
+    double utilization = 0.0;  ///< busy_seconds / elapsed
+  };
+  std::vector<Worker> workers;
+};
+
+/// Peak resident set size of this process in bytes (Linux: VmHWM from
+/// /proc/self/status); 0 where unavailable.
+std::uint64_t peak_rss_bytes();
+
+/// Renders the snapshot as the status.json document (one JSON object,
+/// trailing newline). Schema documented in README "Observability".
+std::string render_status_json(const ProgressSnapshot& snapshot);
+
+/// Writes status.json atomically: render to `path + ".tmp"`, fsync-free
+/// rename over `path`. Returns false on IO failure.
+bool write_status_json(const std::string& path,
+                       const ProgressSnapshot& snapshot);
+
+/// Renders the one-line heartbeat ("12/36 jobs, 3456 trials, ...").
+std::string render_heartbeat(const ProgressSnapshot& snapshot);
+
+class ProgressReporter {
+ public:
+  struct Options {
+    double interval_seconds = 2.0;
+    std::string status_path;     ///< empty = no status.json
+    std::ostream* heartbeat = nullptr;  ///< nullptr = no heartbeat lines
+  };
+
+  /// `sample` is called from the reporter thread on every tick (and once
+  /// from stop()); it must be thread-safe against the workers.
+  ProgressReporter(Options options,
+                   std::function<ProgressSnapshot()> sample);
+
+  /// Joins the reporter thread after one final sample + write, so the
+  /// on-disk status.json always reflects the end state.
+  ~ProgressReporter();
+
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+  /// Idempotent early shutdown (the destructor calls it).
+  void stop();
+
+ private:
+  void tick();
+
+  Options options_;
+  std::function<ProgressSnapshot()> sample_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace cobra::obs

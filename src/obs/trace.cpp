@@ -1,0 +1,123 @@
+// SPDX-License-Identifier: MIT
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+
+namespace cobra::obs {
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_collector_id{1};
+
+void append_json_string(std::string& out, const std::string& text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+TraceCollector::TraceCollector()
+    : id_(g_next_collector_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(Clock::now()) {}
+
+TraceCollector::Track& TraceCollector::local_track() {
+  struct CacheEntry {
+    std::uint64_t collector_id;
+    Track* track;
+  };
+  thread_local std::vector<CacheEntry> cache;
+  for (const CacheEntry& entry : cache) {
+    if (entry.collector_id == id_) return *entry.track;
+  }
+  std::lock_guard lock(mutex_);
+  auto track = std::make_unique<Track>();
+  track->tid = static_cast<std::uint32_t>(tracks_.size());
+  track->events.reserve(kReservePerThread);
+  Track* raw = track.get();
+  tracks_.push_back(std::move(track));
+  cache.push_back({id_, raw});
+  return *raw;
+}
+
+void TraceCollector::record(const char* name, double start_us,
+                            double duration_us, std::string detail) {
+  local_track().events.push_back(
+      {name, start_us, duration_us, std::move(detail)});
+}
+
+std::size_t TraceCollector::event_count() const {
+  std::lock_guard lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& track : tracks_) total += track->events.size();
+  return total;
+}
+
+bool TraceCollector::write(const std::string& path) const {
+  std::lock_guard lock(mutex_);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  char buf[160];
+  std::string line;
+  for (const auto& track : tracks_) {
+    // Track label so Perfetto shows "worker N" instead of bare tids.
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%u,\"args\":{\"name\":\"%s %u\"}}",
+                  first ? "" : ",", track->tid,
+                  track->tid == 0 ? "main" : "worker", track->tid);
+    out << buf << '\n';
+    first = false;
+    // RAII spans finish (and record) innermost-first; Perfetto wants
+    // begin-time order per track to stack nested slices.
+    std::vector<const Event*> ordered;
+    ordered.reserve(track->events.size());
+    for (const Event& event : track->events) ordered.push_back(&event);
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const Event* a, const Event* b) {
+                       return a->start_us < b->start_us;
+                     });
+    for (const Event* event : ordered) {
+      line.clear();
+      line += ",{\"name\":";
+      append_json_string(line, event->name);
+      std::snprintf(buf, sizeof buf,
+                    ",\"cat\":\"campaign\",\"ph\":\"X\",\"pid\":1,"
+                    "\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f",
+                    track->tid, event->start_us, event->duration_us);
+      line += buf;
+      if (!event->detail.empty()) {
+        line += ",\"args\":{\"detail\":";
+        append_json_string(line, event->detail);
+        line += '}';
+      }
+      line += '}';
+      out << line << '\n';
+    }
+  }
+  out << "]}\n";
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace cobra::obs

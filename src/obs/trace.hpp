@@ -1,0 +1,126 @@
+// SPDX-License-Identifier: MIT
+//
+// Span tracing with Chrome trace-event JSON export.
+//
+// Named phases (campaign planning, graph builds, per-job trial loops,
+// sink/journal writes) are timed as RAII spans into per-thread tracks and
+// written as complete events ("ph":"X") in the trace-event format, so the
+// file loads directly in Perfetto / chrome://tracing:
+//
+//   TraceCollector trace;
+//   { TraceSpan span(&trace, "graph_build"); build(); }
+//   trace.write("out.trace.json");
+//
+// Design points:
+//  * One event buffer per thread (allocated on the thread's first span,
+//    pre-reserved so steady-state spans don't reallocate), merged under a
+//    mutex only at write time — the span path takes two steady_clock
+//    reads and one buffer append.
+//  * Spans carry a static-lifetime name (string literals), an optional
+//    small owned detail string (e.g. the graph-cache key), and nest
+//    naturally per thread by RAII scoping; the writer emits them in
+//    begin-time order per track, which Perfetto renders as nested slices.
+//  * A null collector disables everything: TraceSpan against nullptr is
+//    two pointer checks, no clock reads. Campaign code passes nullptr
+//    unless --trace is on, so the default path stays untouched.
+//
+// Out-of-band invariant: tracing never touches RNG streams or results;
+// with tracing off, campaign outputs are byte-identical (CI-enforced).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cobra::obs {
+
+class TraceCollector {
+ public:
+  TraceCollector();
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  /// Microseconds since collector construction (the trace time base).
+  double now_us() const noexcept {
+    return std::chrono::duration<double, std::micro>(Clock::now() - epoch_)
+        .count();
+  }
+
+  /// Appends one complete event to the calling thread's track. `name`
+  /// must outlive the collector (string literals); `detail` (may be
+  /// empty) is owned and becomes the event's args.detail.
+  void record(const char* name, double start_us, double duration_us,
+              std::string detail = {});
+
+  /// Events recorded so far, all threads (snapshot under the mutex).
+  std::size_t event_count() const;
+
+  /// Writes the Chrome trace-event file: a JSON object whose traceEvents
+  /// array holds one thread_name metadata event per track plus every
+  /// recorded span, per-track in begin-time order. Returns false (and
+  /// leaves no partial file behind) if the path cannot be written.
+  bool write(const std::string& path) const;
+
+  /// Pre-reserved events per thread track (growth beyond this reallocates
+  /// that track's buffer — harmless, but the reserve keeps the common
+  /// case allocation-free). Exposed for --dry-run's buffer estimate.
+  static constexpr std::size_t kReservePerThread = 4096;
+
+  struct Event {
+    const char* name;
+    double start_us;
+    double duration_us;
+    std::string detail;
+  };
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Track {
+    std::uint32_t tid;
+    std::vector<Event> events;
+  };
+
+  Track& local_track();
+
+  const std::uint64_t id_;  ///< process-unique (thread_local cache key)
+  Clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Track>> tracks_;
+};
+
+/// RAII span: times its scope into `collector`'s calling-thread track.
+/// A nullptr collector makes construction and destruction no-ops.
+class TraceSpan {
+ public:
+  TraceSpan(TraceCollector* collector, const char* name) noexcept
+      : collector_(collector), name_(name) {
+    if (collector_ != nullptr) start_us_ = collector_->now_us();
+  }
+  TraceSpan(TraceCollector* collector, const char* name, std::string detail)
+      : collector_(collector), name_(name), detail_(std::move(detail)) {
+    if (collector_ != nullptr) start_us_ = collector_->now_us();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() {
+    if (collector_ != nullptr) {
+      collector_->record(name_, start_us_,
+                         collector_->now_us() - start_us_,
+                         std::move(detail_));
+    }
+  }
+
+ private:
+  TraceCollector* collector_;
+  const char* name_;
+  std::string detail_;
+  double start_us_ = 0.0;
+};
+
+}  // namespace cobra::obs

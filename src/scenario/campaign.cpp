@@ -3,16 +3,19 @@
 
 #include <algorithm>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <mutex>
 #include <ostream>
 
 #include "core/faults.hpp"
+#include "obs/progress.hpp"
 #include "scenario/graph_cache.hpp"
 #include "scenario/sink.hpp"
 #include "sim/sweep.hpp"
 #include "sim/thread_pool.hpp"
 #include "stats/quantile.hpp"
+#include "util/stopwatch.hpp"
 
 namespace cobra::scenario {
 
@@ -63,7 +66,9 @@ Summary summary_from(const OnlineStats& stream, std::vector<double>& values) {
 }
 
 JobResult execute_job(const CampaignPlan& plan, const JobSpec& job,
-                      const Graph& g) {
+                      const Graph& g, CampaignTelemetry* telemetry) {
+  obs::TraceSpan job_span(telemetry != nullptr ? telemetry->trace() : nullptr,
+                          "job", "job " + std::to_string(job.index));
   // Qualified: the enclosing cobra:: namespace has the factory overload.
   const auto process = scenario::make_process(g, job.process);
   // Optional fault layer: built per job (cheap — the model is a validated
@@ -96,9 +101,36 @@ JobResult execute_job(const CampaignPlan& plan, const JobSpec& job,
     pdr_values.reserve(plan.trials);
     energy_values.reserve(plan.trials);
   }
+  // Per-round telemetry: record the first rounds_trials trials of the job
+  // through the out-of-band observer hook (results are independent of
+  // attached observers — the PR-3 contract, re-verified in obs_test).
+  std::unique_ptr<obs::RoundRecorder> recorder;
+  std::size_t recorded_trials = 0;
+  if (telemetry != nullptr && telemetry->rounds() != nullptr) {
+    recorder = std::make_unique<obs::RoundRecorder>(
+        telemetry->config().rounds_sample_every);
+    recorded_trials =
+        std::min(telemetry->config().rounds_trials, plan.trials);
+  }
+  obs::TraceSpan trials_span(
+      telemetry != nullptr ? telemetry->trace() : nullptr, "trials");
   for (std::size_t t = 0; t < plan.trials; ++t) {
+    const bool record_rounds = t < recorded_trials;
+    process->set_observer(record_rounds ? recorder.get() : nullptr);
     const SpreadResult trial = process->run(Rng::for_trial(job_seed, t),
                                             starts[t % starts.size()]);
+    if (record_rounds) {
+      telemetry->rounds()->append_trial(job.index, t, recorder->samples());
+      if (t + 1 == recorded_trials) process->set_observer(nullptr);
+    }
+    if (telemetry != nullptr) {
+      telemetry->metrics().add(telemetry->trials_done);
+      telemetry->metrics().observe(telemetry->trial_rounds,
+                                   static_cast<double>(trial.rounds));
+      if (!trial.completed) {
+        telemetry->metrics().add(telemetry->trials_failed);
+      }
+    }
     if (result.faulty) {
       // Raw delivery totals cover every trial, failed ones included —
       // exactly what was spent, not just what succeeded.
@@ -158,10 +190,11 @@ CampaignPlan plan_campaign(const ScenarioSpec& spec) {
   // how experiment campaigns go subtly wrong.
   for (const auto& section : spec.sections()) {
     if (section.name != "campaign" && section.name != "graph" &&
-        section.name != "process" && section.name != "faults") {
+        section.name != "process" && section.name != "faults" &&
+        section.name != "telemetry") {
       throw SpecError(spec.source() + ":" + std::to_string(section.line) +
                       ": unknown section [" + section.name +
-                      "] (expected campaign/graph/process/faults)");
+                      "] (expected campaign/graph/process/faults/telemetry)");
     }
   }
   if (const SpecSection* campaign = spec.section("campaign")) {
@@ -262,6 +295,50 @@ CampaignPlan plan_campaign(const ScenarioSpec& spec) {
         throw SpecError(spec.source() + ":" + std::to_string(entry.line) +
                         ": unknown [faults] key '" + entry.key +
                         "' (scenario_runner --list prints the accepted set)");
+      }
+    }
+  }
+
+  // [telemetry] configures observability sinks. Telemetry is out of band:
+  // its keys never become sweep axes and never enter the fingerprint, so
+  // adding/removing the section resumes against the same journal and
+  // leaves the result sinks byte-identical (CI-enforced).
+  if (const SpecSection* telemetry = spec.section("telemetry")) {
+    for (const auto& entry : telemetry->entries) {
+      const std::string where =
+          spec.source() + ":" + std::to_string(entry.line) + ": [telemetry] ";
+      if (entry.key == "progress") {
+        double seconds = 0.0;
+        if (!parse_spec_double(entry.value, seconds) || seconds < 0.0) {
+          throw SpecError(where +
+                          "progress expects an interval in seconds >= 0 "
+                          "(0 = off), got '" + entry.value + "'");
+        }
+        plan.telemetry.progress_interval = seconds;
+      } else if (entry.key == "status") {
+        parse_telemetry_sink(entry.value, plan.telemetry.status,
+                             plan.telemetry.status_path);
+      } else if (entry.key == "trace") {
+        parse_telemetry_sink(entry.value, plan.telemetry.trace,
+                             plan.telemetry.trace_path);
+      } else if (entry.key == "rounds") {
+        parse_telemetry_sink(entry.value, plan.telemetry.rounds,
+                             plan.telemetry.rounds_path);
+      } else if (entry.key == "rounds_sample_every" ||
+                 entry.key == "rounds_trials") {
+        std::int64_t value = 0;
+        if (!parse_spec_int(entry.value, value) || value < 1) {
+          throw SpecError(where + entry.key + " expects an integer >= 1, "
+                          "got '" + entry.value + "'");
+        }
+        (entry.key == "rounds_sample_every"
+             ? plan.telemetry.rounds_sample_every
+             : plan.telemetry.rounds_trials) =
+            static_cast<std::size_t>(value);
+      } else {
+        throw SpecError(where + "has no key '" + entry.key +
+                        "' (expected progress/status/trace/rounds/"
+                        "rounds_sample_every/rounds_trials)");
       }
     }
   }
@@ -371,11 +448,30 @@ CampaignResult run_campaign(const CampaignPlan& plan,
   const std::string stem =
       !options.output.empty() ? options.output : plan.output;
 
+  // Telemetry is resolved against the effective stem; an in-memory
+  // campaign (no stem) keeps only sinks with explicit paths.
+  TelemetryConfig telemetry_config = plan.telemetry;
+  if (!stem.empty()) {
+    telemetry_config.resolve_paths(stem);
+  } else {
+    if (telemetry_config.status_path.empty()) telemetry_config.status = false;
+    if (telemetry_config.trace_path.empty()) telemetry_config.trace = false;
+    if (telemetry_config.rounds_path.empty()) telemetry_config.rounds = false;
+  }
+  std::unique_ptr<CampaignTelemetry> telemetry;
+  if (telemetry_config.any()) {
+    telemetry = std::make_unique<CampaignTelemetry>(telemetry_config);
+  }
+  obs::TraceCollector* trace =
+      telemetry != nullptr ? telemetry->trace() : nullptr;
+  Stopwatch campaign_watch;
+
   CampaignResult result;
   result.jobs.assign(plan.jobs.size(), std::nullopt);
 
   std::unique_ptr<Journal> journal;
   if (!stem.empty()) {
+    obs::TraceSpan span(trace, "journal_restore");
     journal = std::make_unique<Journal>(stem + ".journal", plan,
                                         options.resume);
     for (const auto& [index, restored] : journal->restored()) {
@@ -396,8 +492,12 @@ CampaignResult run_campaign(const CampaignPlan& plan,
 
   // Single-flight instance cache: concurrent misses on one key block on
   // the first builder instead of racing duplicate builds (graph_cache.hpp).
-  GraphCache cache(
-      [&plan](const JobSpec& job) { return build_graph_instance(plan, job); });
+  // The trace span wraps only the losing-thread build (cache hits and
+  // single-flight waiters record nothing).
+  GraphCache cache([&plan, trace](const JobSpec& job) {
+    obs::TraceSpan span(trace, "graph_build", GraphCache::key_for(job));
+    return build_graph_instance(plan, job);
+  });
   for (const std::size_t index : pending) cache.expect(plan.jobs[index]);
 
   std::mutex mutex;
@@ -413,16 +513,31 @@ CampaignResult run_campaign(const CampaignPlan& plan,
     try {
       const GraphCache::Acquired acquired = cache.acquire(job);
       const auto& graph = acquired.graph;
-      if (acquired.built_seconds >= 0.0 && journal) {
-        // Surface per-graph build time in the journal (note frames are
-        // telemetry: ignored on resume, absent from the jsonl/csv sinks).
-        std::lock_guard lock(mutex);
-        journal->note("graph " + GraphCache::key_for(job) + " name=" +
-                      graph->name() + " build_seconds=" +
-                      format_double(acquired.built_seconds));
+      if (acquired.built_seconds >= 0.0) {
+        // Build timing goes to the metrics registry (status.json's
+        // graph_builds / graph_build_seconds) and, for journal-backed
+        // campaigns, to the legacy note frame — same numbers, two sinks.
+        if (telemetry != nullptr) {
+          telemetry->metrics().add(telemetry->graph_builds);
+          telemetry->metrics().observe(telemetry->graph_build_seconds,
+                                       acquired.built_seconds);
+        }
+        if (journal) {
+          std::lock_guard lock(mutex);
+          journal->note("graph " + GraphCache::key_for(job) + " name=" +
+                        graph->name() + " build_seconds=" +
+                        format_double(acquired.built_seconds));
+        }
       }
-      JobResult job_result = execute_job(plan, job, *graph);
+      Stopwatch job_watch;
+      JobResult job_result = execute_job(plan, job, *graph, telemetry.get());
       cache.release(job);
+      if (telemetry != nullptr) {
+        telemetry->metrics().observe(telemetry->job_seconds,
+                                     job_watch.seconds());
+        telemetry->metrics().add(telemetry->jobs_done);
+      }
+      obs::TraceSpan journal_span(trace, "journal_append");
       std::lock_guard lock(mutex);
       if (journal) journal->append(job.index, job_result);
       if (options.progress != nullptr) {
@@ -443,12 +558,85 @@ CampaignResult run_campaign(const CampaignPlan& plan,
     }
   };
 
-  if (threads == 0) {
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 0) {
+    pool = std::make_unique<ThreadPool>(threads);
+    if (telemetry != nullptr) pool->enable_telemetry();
+  }
+
+  // The live reporter samples worker-owned relaxed cells and the merged
+  // metrics shards; it never blocks the workers.
+  std::unique_ptr<obs::ProgressReporter> reporter;
+  if (telemetry != nullptr &&
+      (telemetry_config.progress_interval > 0.0 || telemetry_config.status)) {
+    obs::ProgressReporter::Options reporter_options;
+    reporter_options.interval_seconds =
+        telemetry_config.progress_interval > 0.0
+            ? telemetry_config.progress_interval
+            : 2.0;
+    reporter_options.status_path = telemetry_config.status_path;
+    if (telemetry_config.progress_interval > 0.0) {
+      reporter_options.heartbeat = options.telemetry_heartbeat != nullptr
+                                       ? options.telemetry_heartbeat
+                                       : &std::cerr;
+    }
+    const std::size_t to_run = pending.size();
+    const std::size_t resumed = result.resumed;
+    CampaignTelemetry* t = telemetry.get();
+    ThreadPool* pool_ptr = pool.get();
+    const std::string campaign_name = plan.name;
+    reporter = std::make_unique<obs::ProgressReporter>(
+        reporter_options,
+        [t, pool_ptr, total, to_run, resumed, campaign_name,
+         &campaign_watch]() {
+          obs::ProgressSnapshot s;
+          s.campaign = campaign_name;
+          s.jobs_total = total;
+          const std::uint64_t executed = t->metrics().counter_value(t->jobs_done);
+          s.jobs_done = resumed + static_cast<std::size_t>(executed);
+          s.jobs_resumed = resumed;
+          s.trials_done = t->metrics().counter_value(t->trials_done);
+          s.graph_builds = t->metrics().counter_value(t->graph_builds);
+          s.graph_build_seconds =
+              t->metrics().histogram_value(t->graph_build_seconds).sum;
+          s.elapsed_seconds = campaign_watch.seconds();
+          if (s.elapsed_seconds > 0.0) {
+            s.trials_per_sec =
+                static_cast<double>(s.trials_done) / s.elapsed_seconds;
+            if (executed > 0) {
+              const double rate =
+                  static_cast<double>(executed) / s.elapsed_seconds;
+              s.eta_seconds =
+                  static_cast<double>(to_run - std::min<std::size_t>(
+                                                   to_run, executed)) /
+                  rate;
+            }
+          }
+          s.peak_rss_bytes = obs::peak_rss_bytes();
+          if (pool_ptr != nullptr) {
+            const auto workers = pool_ptr->telemetry();
+            s.workers.reserve(workers.size());
+            for (const auto& w : workers) {
+              obs::ProgressSnapshot::Worker worker;
+              worker.chunks = w.chunks;
+              worker.busy_seconds = w.busy_seconds;
+              worker.utilization =
+                  s.elapsed_seconds > 0.0
+                      ? w.busy_seconds / s.elapsed_seconds
+                      : 0.0;
+              s.workers.push_back(worker);
+            }
+          }
+          return s;
+        });
+  }
+
+  if (pool == nullptr) {
     for (std::size_t i = 0; i < pending.size(); ++i) body(i);
   } else {
-    ThreadPool pool(threads);
-    pool.parallel_for(pending.size(), body);
+    pool->parallel_for(pending.size(), body);
   }
+  if (reporter != nullptr) reporter->stop();
   if (errored) throw SpecError(first_error);
 
   result.complete = true;
@@ -466,6 +654,7 @@ CampaignResult run_campaign(const CampaignPlan& plan,
   // Final sinks are written only for a complete campaign, in job order —
   // deterministic and byte-identical however the campaign was interrupted.
   if (result.complete && !stem.empty()) {
+    obs::TraceSpan span(trace, "sink_flush");
     std::ofstream jsonl(stem + ".jsonl", std::ios::trunc);
     std::ofstream csv(stem + ".csv", std::ios::trunc);
     if (!jsonl || !csv) {
@@ -480,6 +669,11 @@ CampaignResult run_campaign(const CampaignPlan& plan,
       jsonl << jsonl_record(plan, job, job_result) << '\n';
       csv << csv_row(plan, job, job_result) << '\n';
     }
+  }
+
+  if (telemetry != nullptr && !telemetry->write_trace()) {
+    throw SpecError("cannot write trace file '" +
+                    telemetry->config().trace_path + "'");
   }
   return result;
 }

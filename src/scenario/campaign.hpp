@@ -29,6 +29,7 @@
 
 #include "scenario/registry.hpp"
 #include "scenario/spec.hpp"
+#include "scenario/telemetry.hpp"
 #include "stats/online.hpp"
 #include "stats/summary.hpp"
 
@@ -53,8 +54,13 @@ struct CampaignPlan {
   std::string output;       ///< sink/journal stem; empty = in-memory only
   std::vector<JobSpec> jobs;
   /// Hash of (name, trials, base_seed, every job); a resume against a
-  /// journal written by a different plan fails loudly.
+  /// journal written by a different plan fails loudly. Deliberately
+  /// excludes `telemetry` — observability is out of band, so toggling it
+  /// must neither invalidate journals nor perturb results.
   std::uint64_t fingerprint = 0;
+  /// Parsed [telemetry] section (scenario_runner's --trace/--progress/
+  /// --status/--rounds flags override it after planning).
+  TelemetryConfig telemetry;
 };
 
 /// Expands the spec into a plan. Throws SpecError (with line numbers where
@@ -92,6 +98,9 @@ struct CampaignOptions {
   std::size_t max_jobs = 0;
   /// Per-job progress lines (nullptr = silent).
   std::ostream* progress = nullptr;
+  /// Stream for the telemetry heartbeat when the plan enables a progress
+  /// interval; nullptr = stderr. Tests capture it here.
+  std::ostream* telemetry_heartbeat = nullptr;
 };
 
 struct CampaignResult {

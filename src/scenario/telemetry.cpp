@@ -1,0 +1,86 @@
+// SPDX-License-Identifier: MIT
+#include "scenario/telemetry.hpp"
+
+#include <stdexcept>
+
+#include "scenario/spec.hpp"
+
+namespace cobra::scenario {
+
+void parse_telemetry_sink(const std::string& value, bool& enabled,
+                          std::string& path) {
+  if (value == "0") {
+    enabled = false;
+    path.clear();
+  } else if (value == "1") {
+    enabled = true;
+    path.clear();
+  } else {
+    enabled = true;
+    path = value;
+  }
+}
+
+void TelemetryConfig::resolve_paths(const std::string& stem) {
+  if (progress_interval > 0.0) status = true;
+  if (status && status_path.empty()) status_path = stem + ".status.json";
+  if (trace && trace_path.empty()) trace_path = stem + ".trace.json";
+  if (rounds && rounds_path.empty()) rounds_path = stem + ".rounds.jsonl";
+}
+
+std::string TelemetryConfig::sinks_description() const {
+  std::string out;
+  const auto add = [&out](const char* name) {
+    if (!out.empty()) out += ',';
+    out += name;
+  };
+  if (progress_interval > 0.0) add("progress");
+  if (status) add("status");
+  if (trace) add("trace");
+  if (rounds) add("rounds");
+  return out.empty() ? "none" : out;
+}
+
+std::uint64_t telemetry_buffer_bytes(const TelemetryConfig& config,
+                                     std::size_t threads,
+                                     std::size_t round_limit) {
+  if (!config.any()) return 0;
+  const std::uint64_t participants = threads + 1;  // workers + caller
+  // Metrics shards always exist once telemetry is on (the registry is
+  // the backbone every sink reads). Size mirrors CampaignTelemetry's
+  // registrations: 4 counters + 3 histograms.
+  std::uint64_t per_thread =
+      4 * sizeof(obs::RelaxedCell) +
+      3 * (sizeof(std::uint64_t) * (obs::kHistogramBuckets + 4));
+  if (config.trace) {
+    per_thread += obs::TraceCollector::kReservePerThread *
+                  sizeof(obs::TraceCollector::Event);
+  }
+  if (config.rounds) {
+    per_thread += obs::RoundRecorder::buffer_bytes(
+        round_limit, config.rounds_sample_every);
+  }
+  return participants * per_thread;
+}
+
+CampaignTelemetry::CampaignTelemetry(const TelemetryConfig& config)
+    : config_(config) {
+  jobs_done = metrics_.counter("jobs_done");
+  trials_done = metrics_.counter("trials_done");
+  trials_failed = metrics_.counter("trials_failed");
+  graph_builds = metrics_.counter("graph_builds");
+  job_seconds = metrics_.histogram("job_seconds", 1e-6);
+  trial_rounds = metrics_.histogram("trial_rounds", 1.0);
+  graph_build_seconds = metrics_.histogram("graph_build_seconds", 1e-6);
+  if (config_.trace) trace_ = std::make_unique<obs::TraceCollector>();
+  if (config_.rounds) {
+    rounds_ = std::make_unique<obs::RoundsSink>(config_.rounds_path);
+  }
+}
+
+bool CampaignTelemetry::write_trace() const {
+  if (trace_ == nullptr) return true;
+  return trace_->write(config_.trace_path);
+}
+
+}  // namespace cobra::scenario

@@ -1,0 +1,105 @@
+// SPDX-License-Identifier: MIT
+//
+// Campaign telemetry configuration and glue: the `[telemetry]` scenario
+// section (and the scenario_runner --trace/--progress/--status/--rounds
+// flags) resolve into a TelemetryConfig carried on the CampaignPlan, and
+// run_campaign instantiates a CampaignTelemetry bundle from it — the
+// sharded metrics registry, the Chrome-trace collector, the rounds sink,
+// and the live progress reporter, all from src/obs/.
+//
+// Out-of-band contract (CI-enforced): telemetry never participates in
+// the campaign fingerprint, the journal result frames, or the JSONL/CSV
+// sinks. A spec with a [telemetry] section plans to the same fingerprint
+// as one without, resumes against the same journal, and produces
+// byte-identical result files — telemetry only *adds* artifacts
+// (status.json, trace JSON, rounds JSONL, heartbeat lines).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/rounds.hpp"
+#include "obs/trace.hpp"
+
+namespace cobra::scenario {
+
+/// Resolved telemetry switches. Paths may be empty with the feature
+/// enabled — resolve_paths() derives `<stem>.status.json` /
+/// `<stem>.trace.json` / `<stem>.rounds.jsonl` defaults.
+struct TelemetryConfig {
+  /// Heartbeat + status rewrite interval in seconds; 0 = no reporter.
+  double progress_interval = 0.0;
+  bool status = false;   ///< write status.json (implied by progress > 0)
+  bool trace = false;    ///< collect spans, write Chrome trace JSON
+  bool rounds = false;   ///< per-round process telemetry JSONL
+  std::string status_path;
+  std::string trace_path;
+  std::string rounds_path;
+  /// Keep every k-th round sample (terminal round always kept).
+  std::size_t rounds_sample_every = 1;
+  /// Record the first k trials of every job (bounds volume).
+  std::size_t rounds_trials = 1;
+
+  bool any() const {
+    return progress_interval > 0.0 || status || trace || rounds;
+  }
+  /// Fills empty paths from the output stem.
+  void resolve_paths(const std::string& stem);
+  /// Comma-joined enabled sink names ("progress,status,trace,rounds"),
+  /// "none" when off — the --dry-run per-job annotation.
+  std::string sinks_description() const;
+};
+
+/// Parses a sink toggle value: "0" = off, "1" = on with a derived path,
+/// anything else = on with that explicit path. Shared by the [telemetry]
+/// section planner and the scenario_runner flags.
+void parse_telemetry_sink(const std::string& value, bool& enabled,
+                          std::string& path);
+
+/// Rough resident bytes of the telemetry layer for `threads` workers and
+/// a per-trial round budget — what --dry-run folds into its memory
+/// lines. Deliberately an upper-ish estimate: metrics shards + trace
+/// reserve + one rounds buffer per worker.
+std::uint64_t telemetry_buffer_bytes(const TelemetryConfig& config,
+                                     std::size_t threads,
+                                     std::size_t round_limit);
+
+/// The per-run telemetry bundle. Everything is optional inside; a null
+/// CampaignTelemetry pointer in the campaign runner means the legacy
+/// zero-overhead path.
+class CampaignTelemetry {
+ public:
+  explicit CampaignTelemetry(const TelemetryConfig& config);
+
+  const TelemetryConfig& config() const noexcept { return config_; }
+
+  obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  /// nullptr when --trace is off — TraceSpan against nullptr is a no-op.
+  obs::TraceCollector* trace() noexcept { return trace_.get(); }
+  /// nullptr when rounds telemetry is off.
+  obs::RoundsSink* rounds() noexcept { return rounds_.get(); }
+
+  // ---- campaign-level metric handles (registered in the constructor,
+  // before any worker shard exists) ----
+  obs::CounterId jobs_done;
+  obs::CounterId trials_done;
+  obs::CounterId trials_failed;
+  obs::CounterId graph_builds;
+  obs::HistogramId job_seconds;        ///< base 1us
+  obs::HistogramId trial_rounds;       ///< base 1 (count-valued)
+  obs::HistogramId graph_build_seconds;
+
+  /// Writes the trace file if tracing is on; returns false only on an
+  /// enabled-but-failed write.
+  bool write_trace() const;
+
+ private:
+  TelemetryConfig config_;
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<obs::TraceCollector> trace_;
+  std::unique_ptr<obs::RoundsSink> rounds_;
+};
+
+}  // namespace cobra::scenario

@@ -6,13 +6,28 @@
 
 namespace cobra {
 
+namespace {
+// Which pool (if any) owns the current thread, and its telemetry slot.
+// Lets run_participant attribute chunk work to the right slot whether it
+// runs on a worker (slot index + 1) or on the calling thread (slot 0).
+thread_local const ThreadPool* t_owner = nullptr;
+thread_local std::size_t t_slot = 0;
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -25,10 +40,36 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
+void ThreadPool::enable_telemetry() {
+  if (!slots_.empty()) return;
+  slots_.reserve(workers_.size() + 1);
+  for (std::size_t i = 0; i < workers_.size() + 1; ++i) {
+    slots_.push_back(std::make_unique<TelemetrySlot>());
+  }
+}
+
+std::vector<ThreadPool::WorkerTelemetry> ThreadPool::telemetry() const {
+  std::vector<WorkerTelemetry> out;
+  out.reserve(slots_.size());
+  for (const auto& slot : slots_) {
+    WorkerTelemetry w;
+    w.tasks = slot->tasks.load();
+    w.chunks = slot->chunks.load();
+    w.busy_seconds = static_cast<double>(slot->busy_ns.load()) * 1e-9;
+    w.queue_wait_seconds =
+        static_cast<double>(slot->queue_wait_ns.load()) * 1e-9;
+    out.push_back(w);
+  }
+  return out;
+}
+
 void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard lock(mutex_);
-    queue_.push_back(std::move(task));
+    QueuedTask queued;
+    queued.fn = std::move(task);
+    if (!slots_.empty()) queued.enqueued = std::chrono::steady_clock::now();
+    queue_.push_back(std::move(queued));
     ++in_flight_;
   }
   task_ready_.notify_one();
@@ -59,14 +100,26 @@ void ThreadPool::parallel_for_stateful(
   const std::size_t chunk =
       std::max<std::size_t>(1, count / (participants * 8));
   std::atomic<std::size_t> cursor{0};
-  const auto run_participant = [&cursor, &make_body, chunk, count] {
+  const bool timed = !slots_.empty();
+  const auto run_participant = [this, &cursor, &make_body, chunk, count,
+                                timed] {
+    // Workers of this pool report into their own slot; any other thread
+    // (normally the caller) reports into slot 0.
+    const std::size_t slot = t_owner == this ? t_slot : 0;
     std::function<void(std::size_t)> body = make_body();
     while (true) {
       const std::size_t begin =
           cursor.fetch_add(chunk, std::memory_order_relaxed);
       if (begin >= count) break;
       const std::size_t end = std::min(begin + chunk, count);
-      for (std::size_t i = begin; i < end; ++i) body(i);
+      if (timed) {
+        const auto start = std::chrono::steady_clock::now();
+        for (std::size_t i = begin; i < end; ++i) body(i);
+        slots_[slot]->chunks.add(1);
+        slots_[slot]->busy_ns.add(elapsed_ns(start));
+      } else {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      }
     }
   };
   // No point waking more workers than there are chunks to claim.
@@ -77,9 +130,11 @@ void ThreadPool::parallel_for_stateful(
   wait_idle();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t index) {
+  t_owner = this;
+  t_slot = index + 1;
   while (true) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock lock(mutex_);
       task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -90,7 +145,12 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    if (!slots_.empty() &&
+        task.enqueued != std::chrono::steady_clock::time_point{}) {
+      slots_[index + 1]->tasks.add(1);
+      slots_[index + 1]->queue_wait_ns.add(elapsed_ns(task.enqueued));
+    }
+    task.fn();
     {
       std::lock_guard lock(mutex_);
       if (--in_flight_ == 0) idle_.notify_all();

@@ -9,13 +9,17 @@
 // from its *index*, so results are identical whatever thread executes it.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace cobra {
 
@@ -53,16 +57,48 @@ class ThreadPool {
       std::size_t count,
       const std::function<std::function<void(std::size_t)>()>& make_body);
 
+  /// Per-participant counters sampled by the live progress reporter.
+  /// Slot 0 is the calling thread, slot i+1 is worker i.
+  struct WorkerTelemetry {
+    std::uint64_t tasks = 0;   ///< queue pops (always 0 for the caller)
+    std::uint64_t chunks = 0;  ///< parallel_for chunks claimed
+    double busy_seconds = 0;   ///< time spent inside chunk bodies
+    double queue_wait_seconds = 0;  ///< submit-to-pop latency, summed
+  };
+
+  /// Turns on per-participant counters. Call before dispatching work; the
+  /// off path stays free of clock reads. Cells are single-writer relaxed
+  /// atomics (obs/metrics.hpp), so sampling mid-run is race-free.
+  void enable_telemetry();
+
+  /// Snapshot of the per-participant counters; empty when telemetry is
+  /// off. Safe to call while work is in flight.
+  std::vector<WorkerTelemetry> telemetry() const;
+
  private:
-  void worker_loop();
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued{};
+  };
+  struct TelemetrySlot {
+    obs::RelaxedCell tasks;
+    obs::RelaxedCell chunks;
+    obs::RelaxedCell busy_ns;
+    obs::RelaxedCell queue_wait_ns;
+  };
+
+  void worker_loop(std::size_t index);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   std::mutex mutex_;
   std::condition_variable task_ready_;
   std::condition_variable idle_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
+  /// Empty = telemetry off; else size() + 1 slots (caller + workers).
+  /// unique_ptr keeps cell addresses stable and slots cache-line apart.
+  std::vector<std::unique_ptr<TelemetrySlot>> slots_;
 };
 
 }  // namespace cobra

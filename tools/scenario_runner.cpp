@@ -13,6 +13,7 @@
 // Exit status: 0 on success (including a clean --max-jobs stop), 1 on any
 // spec/plan/journal error.
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <iostream>
 #include <string>
@@ -106,6 +107,20 @@ int main(int argc, char** argv) {
       flags.get_int("base-seed", flags.get_int("base_seed", 0));
   const bool have_seed_override =
       flags.has("base-seed") || flags.has("base_seed");
+  // Telemetry overrides (see the [telemetry] spec section). Values are
+  // consumed greedily, so put the spec path before any bare toggle:
+  //   scenario_runner spec.scenario --trace --progress 2
+  const bool have_progress = flags.has("progress");
+  // Bare --progress means the default 2s heartbeat interval.
+  const std::string progress_value = flags.get("progress", "");
+  const double progress_interval =
+      progress_value.empty() ? 2.0 : flags.get_double("progress", 0.0);
+  const bool have_status = flags.has("status");
+  const std::string status_value = flags.get("status", "1");
+  const bool have_trace = flags.has("trace");
+  const std::string trace_value = flags.get("trace", "1");
+  const bool have_rounds = flags.has("rounds");
+  const std::string rounds_value = flags.get("rounds", "1");
 
   if (help) {
     std::printf(
@@ -115,7 +130,13 @@ int main(int argc, char** argv) {
         "jobs are checkpointed to <stem>.journal, and rerunning the same\n"
         "spec resumes the remaining jobs. Once complete, <stem>.jsonl and\n"
         "<stem>.csv are written (byte-identical however the campaign was\n"
-        "interrupted).\n\nflags:\n");
+        "interrupted).\n\n"
+        "Observability (out of band — never changes results): --progress N\n"
+        "prints a heartbeat every N seconds and rewrites <stem>.status.json;\n"
+        "--trace [path] writes a Chrome trace (load in Perfetto); --rounds\n"
+        "[path] samples per-round process telemetry to JSONL. Values are\n"
+        "consumed greedily, so put the spec path before bare toggles.\n\n"
+        "flags:\n");
     flags.print_help(std::cout);
     std::printf("\n");
     print_registries();
@@ -154,13 +175,31 @@ int main(int argc, char** argv) {
 
     CampaignPlan plan = plan_campaign(spec);
     if (plan.output.empty()) plan.output = default_stem(spec_path);
+    // Flags override the [telemetry] section after planning — telemetry
+    // is out of band, so this cannot change the fingerprint or results.
+    if (have_progress) plan.telemetry.progress_interval = progress_interval;
+    if (have_status) {
+      parse_telemetry_sink(status_value, plan.telemetry.status,
+                           plan.telemetry.status_path);
+    }
+    if (have_trace) {
+      parse_telemetry_sink(trace_value, plan.telemetry.trace,
+                           plan.telemetry.trace_path);
+    }
+    if (have_rounds) {
+      parse_telemetry_sink(rounds_value, plan.telemetry.rounds,
+                           plan.telemetry.rounds_path);
+    }
 
     if (dry_run) {
+      TelemetryConfig telemetry = plan.telemetry;
+      telemetry.resolve_paths(!output.empty() ? output : plan.output);
       std::printf("campaign '%s': %zu jobs x %zu trials, base_seed=%llu, "
-                  "output stem '%s'\n",
+                  "output stem '%s', telemetry sinks: %s\n",
                   plan.name.c_str(), plan.jobs.size(), plan.trials,
                   static_cast<unsigned long long>(plan.base_seed),
-                  plan.output.c_str());
+                  plan.output.c_str(),
+                  telemetry.sinks_description().c_str());
       // Per-job estimated peak graph memory (n, 2m, offset width, weight
       // array, alias tables) so an overnight campaign can be
       // sanity-checked against RAM up front.
@@ -183,6 +222,18 @@ int main(int argc, char** argv) {
         // sanity-check like weighted ones do.
         const std::uint64_t fault_bytes =
             job.faults.empty() ? 0 : fault_session_bytes(est.n);
+        // Telemetry buffers (metrics shards, trace reserve, rounds
+        // recorder) scale with threads and the job's round budget, not
+        // with the graph — but they are resident alongside it.
+        std::uint64_t round_limit = 4096;
+        if (const std::string* rounds_param =
+                find_param(job.process, "max_rounds")) {
+          round_limit = static_cast<std::uint64_t>(
+              std::strtoull(rounds_param->c_str(), nullptr, 10));
+          if (round_limit == 0) round_limit = 4096;
+        }
+        const std::uint64_t telemetry_bytes =
+            telemetry_buffer_bytes(telemetry, plan.threads, round_limit);
         std::printf("  job %zu seed=%llu graph{%s} process{%s}", job.index,
                     static_cast<unsigned long long>(job.seed_index),
                     canonical_params(job.graph).c_str(),
@@ -192,7 +243,7 @@ int main(int argc, char** argv) {
         }
         if (est.known) {
           const std::uint64_t total =
-              est.total_bytes() + alias_bytes + fault_bytes;
+              est.total_bytes() + alias_bytes + fault_bytes + telemetry_bytes;
           std::printf(" mem~%s (n=%llu, 2m=%llu, offsets=%zu-bit",
                       human_bytes(total).c_str(),
                       static_cast<unsigned long long>(est.n),
@@ -207,6 +258,10 @@ int main(int argc, char** argv) {
           }
           if (fault_bytes > 0) {
             std::printf(", faults +%s", human_bytes(fault_bytes).c_str());
+          }
+          if (telemetry_bytes > 0) {
+            std::printf(", telemetry +%s",
+                        human_bytes(telemetry_bytes).c_str());
           }
           std::printf(")\n");
           if (total > peak_total) {
