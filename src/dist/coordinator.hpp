@@ -1,0 +1,92 @@
+// SPDX-License-Identifier: MIT
+//
+// Campaign coordinator: owns the plan, fingerprint, journal, and final
+// sinks; partitions the pending job grid into shards and leases them to
+// worker agents over the dist/ protocol. Result frames merge into the
+// journal idempotently (duplicates from a re-run shard are dropped by job
+// index), so the JSONL/CSV a distributed campaign writes are byte-identical
+// to a single-process run of the same spec — whatever the worker count,
+// shard order, or failure pattern (CI-enforced with cmp).
+//
+// Failure model: a worker disconnect (kill -9 included — the kernel closes
+// its socket) requeues its leased shards immediately; an alive-but-wedged
+// worker is reclaimed by the lease-timeout sweeper. A worker whose plan
+// fingerprint, protocol, or journal-format version disagrees is rejected
+// at the handshake. A worker reporting a job *error* (not a death) aborts
+// the campaign — deterministic jobs fail identically everywhere, so
+// re-queueing would loop forever.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "scenario/campaign.hpp"
+
+namespace cobra::dist {
+
+struct CoordinatorOptions {
+  /// TCP port on 127.0.0.1; 0 = kernel-assigned (see Coordinator::port).
+  std::uint16_t port = 0;
+  /// Jobs per shard; 0 = auto (pending/8 clamped to [1, 64]). Small shards
+  /// spread better and re-run cheaper; large shards amortize lease
+  /// round-trips.
+  std::size_t shard_size = 0;
+  /// Reclaim a leased shard after this long without any frame from its
+  /// worker. Disconnects requeue immediately regardless.
+  double lease_timeout_seconds = 30.0;
+  /// Pick up a matching journal (mismatch throws); false truncates.
+  bool resume = true;
+  /// Overrides plan.output when non-empty.
+  std::string output;
+  /// Per-event log lines (worker joins, leases, requeues); nullptr = quiet.
+  std::ostream* log = nullptr;
+  /// status.json path ("" = off) and heartbeat stream/interval — the obs/
+  /// progress layer with the fabric's own lease/worker counters folded in.
+  std::string status_path;
+  std::ostream* heartbeat = nullptr;
+  double progress_interval = 2.0;
+};
+
+struct CoordinatorResult {
+  bool complete = false;
+  std::size_t resumed = 0;      ///< jobs restored from the journal
+  std::size_t merged = 0;       ///< result frames accepted (first copies)
+  std::size_t duplicates = 0;   ///< frames dropped by the idempotent merge
+  std::size_t requeues = 0;     ///< shard leases reclaimed (dead/stalled)
+  std::size_t workers_served = 0;  ///< handshakes completed
+};
+
+class Coordinator {
+ public:
+  /// Binds the listener (so port() is valid immediately), opens/restores
+  /// the journal, and partitions the pending jobs. `spec_text` is the
+  /// rendered spec shipped to workers in the WELCOME frame — render it
+  /// from the same ScenarioSpec the plan came from, CLI overrides
+  /// included, or workers will compute a different fingerprint and refuse.
+  Coordinator(scenario::CampaignPlan plan, std::string spec_text,
+              CoordinatorOptions options);
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// The bound port — what workers --connect to.
+  std::uint16_t port() const noexcept;
+
+  /// Serves until every job is merged (writes the final sinks, returns) or
+  /// a worker reports a job error (throws SpecError with the worker's
+  /// message). Blocks; run workers from other processes or threads.
+  CoordinatorResult serve();
+
+  /// Unblocks serve() from another thread (tests); the campaign is left
+  /// checkpointed, not complete.
+  void stop();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace cobra::dist

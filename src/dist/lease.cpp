@@ -1,0 +1,108 @@
+// SPDX-License-Identifier: MIT
+#include "dist/lease.hpp"
+
+namespace cobra::dist {
+
+LeaseTable::LeaseTable(std::vector<std::vector<std::size_t>> shards,
+                       std::chrono::milliseconds lease_timeout)
+    : shards_(std::move(shards)),
+      lease_timeout_(lease_timeout),
+      entries_(shards_.size()) {}
+
+std::optional<std::size_t> LeaseTable::acquire(std::uint64_t worker) {
+  std::unique_lock lock(mutex_);
+  while (true) {
+    if (aborted_ || done_ == entries_.size()) return std::nullopt;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].state != State::kPending) continue;
+      entries_[i].state = State::kLeased;
+      entries_[i].owner = worker;
+      entries_[i].deadline = Clock::now() + lease_timeout_;
+      return i;
+    }
+    work_ready_.wait(lock);
+  }
+}
+
+void LeaseTable::renew(std::size_t shard, std::uint64_t worker) {
+  std::lock_guard lock(mutex_);
+  Entry& entry = entries_[shard];
+  if (entry.state == State::kLeased && entry.owner == worker) {
+    entry.deadline = Clock::now() + lease_timeout_;
+  }
+}
+
+void LeaseTable::complete(std::size_t shard) {
+  std::lock_guard lock(mutex_);
+  Entry& entry = entries_[shard];
+  if (entry.state == State::kDone) return;
+  entry.state = State::kDone;
+  ++done_;
+  // Completion can be the event every acquirer is waiting for (all done →
+  // they must wake to receive nullopt and send SHUTDOWN).
+  work_ready_.notify_all();
+}
+
+std::size_t LeaseTable::release_worker(std::uint64_t worker) {
+  std::lock_guard lock(mutex_);
+  std::size_t requeued = 0;
+  for (Entry& entry : entries_) {
+    if (entry.state == State::kLeased && entry.owner == worker) {
+      entry.state = State::kPending;
+      ++requeued;
+    }
+  }
+  if (requeued > 0) {
+    requeues_ += requeued;
+    work_ready_.notify_all();
+  }
+  return requeued;
+}
+
+std::size_t LeaseTable::requeue_expired() {
+  std::lock_guard lock(mutex_);
+  const auto now = Clock::now();
+  std::size_t requeued = 0;
+  for (Entry& entry : entries_) {
+    if (entry.state == State::kLeased && entry.deadline <= now) {
+      entry.state = State::kPending;
+      ++requeued;
+    }
+  }
+  if (requeued > 0) {
+    requeues_ += requeued;
+    work_ready_.notify_all();
+  }
+  return requeued;
+}
+
+void LeaseTable::abort() {
+  std::lock_guard lock(mutex_);
+  aborted_ = true;
+  work_ready_.notify_all();
+}
+
+bool LeaseTable::all_done() const {
+  std::lock_guard lock(mutex_);
+  return done_ == entries_.size();
+}
+
+bool LeaseTable::aborted() const {
+  std::lock_guard lock(mutex_);
+  return aborted_;
+}
+
+LeaseTable::Stats LeaseTable::stats() const {
+  std::lock_guard lock(mutex_);
+  Stats stats;
+  stats.shards_total = entries_.size();
+  stats.done = done_;
+  stats.requeues = requeues_;
+  for (const Entry& entry : entries_) {
+    if (entry.state == State::kPending) ++stats.pending;
+    if (entry.state == State::kLeased) ++stats.leased;
+  }
+  return stats;
+}
+
+}  // namespace cobra::dist

@@ -1,0 +1,96 @@
+// SPDX-License-Identifier: MIT
+//
+// Lease table: the coordinator's view of which job shards are pending,
+// leased to a worker, or done. The distributed analogue of what a
+// regenerating-code controller does for lost fragments — a shard whose
+// worker dies (connection drop) or stalls (lease timeout) is simply
+// re-queued and repaired by whichever worker asks next; the journal's
+// idempotent merge makes the duplicate work harmless.
+//
+// All operations are thread-safe; acquire() blocks until a shard is
+// available, the campaign completes, or the table is aborted.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace cobra::dist {
+
+class LeaseTable {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// `shards[i]` is the job-index list of shard i. `lease_timeout` bounds
+  /// how long a leased shard may sit without any frame from its worker
+  /// before requeue_expired() reclaims it.
+  LeaseTable(std::vector<std::vector<std::size_t>> shards,
+             std::chrono::milliseconds lease_timeout);
+
+  /// Blocks until a pending shard can be leased to `worker` (returning its
+  /// id), every shard is done (nullopt — the caller sends SHUTDOWN), or
+  /// abort() was called (also nullopt).
+  std::optional<std::size_t> acquire(std::uint64_t worker);
+
+  /// Jobs of a shard, as constructed.
+  const std::vector<std::size_t>& jobs(std::size_t shard) const {
+    return shards_[shard];
+  }
+
+  /// Pushes the lease deadline out — called on every frame received from
+  /// the owning worker (results are heartbeats).
+  void renew(std::size_t shard, std::uint64_t worker);
+
+  /// Marks a shard done (the worker streamed every result). Done is
+  /// terminal whatever the current lease state: if the shard was requeued
+  /// and re-leased in the meantime, the replacement's duplicate frames are
+  /// dropped downstream at the journal.
+  void complete(std::size_t shard);
+
+  /// Requeues every shard leased to `worker` — the disconnect path; a
+  /// killed worker's kernel closes its socket, so this fires immediately,
+  /// long before the lease timeout would.
+  std::size_t release_worker(std::uint64_t worker);
+
+  /// Requeues every leased shard whose deadline has passed — the stalled
+  /// (alive but wedged) worker path, driven by the coordinator's sweeper.
+  std::size_t requeue_expired();
+
+  /// Wakes every blocked acquire() with nullopt; the campaign is ending
+  /// (error or external stop).
+  void abort();
+
+  bool all_done() const;
+  bool aborted() const;
+
+  struct Stats {
+    std::size_t shards_total = 0;
+    std::size_t pending = 0;
+    std::size_t leased = 0;
+    std::size_t done = 0;
+    std::uint64_t requeues = 0;  ///< disconnects + expiries, cumulative
+  };
+  Stats stats() const;
+
+ private:
+  enum class State { kPending, kLeased, kDone };
+  struct Entry {
+    State state = State::kPending;
+    std::uint64_t owner = 0;
+    Clock::time_point deadline{};
+  };
+
+  const std::vector<std::vector<std::size_t>> shards_;
+  const std::chrono::milliseconds lease_timeout_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::vector<Entry> entries_;
+  std::size_t done_ = 0;
+  std::uint64_t requeues_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace cobra::dist

@@ -1,0 +1,193 @@
+// SPDX-License-Identifier: MIT
+#include "dist/worker.hpp"
+
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "dist/protocol.hpp"
+#include "scenario/campaign.hpp"
+#include "scenario/graph_cache.hpp"
+#include "scenario/sink.hpp"
+#include "sim/thread_pool.hpp"
+#include "util/build_info.hpp"
+
+namespace cobra::dist {
+
+using scenario::CampaignPlan;
+using scenario::GraphCache;
+using scenario::JobSpec;
+using scenario::ScenarioSpec;
+using scenario::SpecError;
+
+namespace {
+
+struct WorkerState {
+  Socket socket;
+  std::mutex send_mutex;  ///< result frames may race from pool threads
+  CampaignPlan plan;
+  std::unique_ptr<GraphCache> cache;
+  std::ostream* log = nullptr;
+  std::uint64_t id = 0;
+
+  void send(FrameType type, std::string_view payload) {
+    std::lock_guard lock(send_mutex);
+    socket.send_frame(type, payload);
+  }
+
+  void log_line(const std::string& text) {
+    if (log != nullptr) {
+      *log << "[worker " << id << "] " << text << "\n";
+    }
+  }
+};
+
+WelcomeMsg do_handshake(WorkerState& state) {
+  HelloMsg hello;
+  hello.journal_format = scenario::kJournalFormatVersion;
+  hello.build_info = build_info_string();
+  state.socket.send_frame(FrameType::kHello, encode_hello(hello));
+
+  Frame frame;
+  if (!state.socket.recv_frame(frame)) {
+    throw ProtocolError("coordinator closed during handshake");
+  }
+  if (frame.type == FrameType::kReject) {
+    throw ProtocolError("coordinator rejected worker: " + frame.payload);
+  }
+  if (frame.type != FrameType::kWelcome) {
+    throw ProtocolError(std::string("expected WELCOME, got ") +
+                        frame_type_name(frame.type));
+  }
+  const WelcomeMsg welcome = decode_welcome(frame.payload);
+  if (welcome.protocol != kProtocolVersion ||
+      welcome.journal_format != scenario::kJournalFormatVersion) {
+    throw ProtocolError("coordinator version mismatch: protocol v" +
+                        std::to_string(welcome.protocol) + " journal v" +
+                        std::to_string(welcome.journal_format));
+  }
+  return welcome;
+}
+
+/// Executes one leased shard, streaming a JOB_RESULT frame per job (each
+/// frame renews the lease — results are heartbeats) and SHARD_DONE at the
+/// end. On a job failure the first error is reported via an ERROR frame
+/// and rethrown as SpecError: deterministic jobs fail identically on every
+/// worker, so retrying elsewhere cannot help.
+std::size_t run_shard(WorkerState& state, const LeaseGrantMsg& grant,
+                      std::size_t threads) {
+  for (const std::uint64_t job : grant.jobs) {
+    if (job >= state.plan.jobs.size()) {
+      throw ProtocolError("lease grants out-of-range job " +
+                          std::to_string(job));
+    }
+    state.cache->expect(state.plan.jobs[static_cast<std::size_t>(job)]);
+  }
+
+  std::mutex error_mutex;
+  std::string first_error;
+  const auto run_one = [&](std::size_t at) {
+    const auto index = static_cast<std::size_t>(grant.jobs[at]);
+    const JobSpec& job = state.plan.jobs[index];
+    try {
+      const GraphCache::Acquired acquired = state.cache->acquire(job);
+      const scenario::JobResult result =
+          scenario::execute_campaign_job(state.plan, job, *acquired.graph);
+      state.cache->release(job);
+      JobResultMsg msg;
+      msg.shard = grant.shard;
+      msg.job = index;
+      msg.payload = scenario::serialize_job_result(result);
+      state.send(FrameType::kJobResult, encode_job_result(msg));
+    } catch (const std::exception& e) {
+      state.cache->release(job);
+      std::lock_guard lock(error_mutex);
+      if (first_error.empty()) {
+        first_error =
+            "job " + std::to_string(index) + " failed: " + e.what();
+      }
+    }
+  };
+
+  if (threads > 0 && grant.jobs.size() > 1) {
+    ThreadPool pool(threads);
+    pool.parallel_for(grant.jobs.size(), run_one);
+  } else {
+    for (std::size_t at = 0; at < grant.jobs.size(); ++at) run_one(at);
+  }
+
+  if (!first_error.empty()) {
+    state.send(FrameType::kError, first_error);
+    throw SpecError(first_error);
+  }
+  WireWriter done;
+  done.u64(grant.shard);
+  state.send(FrameType::kShardDone, done.take());
+  return grant.jobs.size();
+}
+
+}  // namespace
+
+WorkerResult run_worker(const WorkerOptions& options) {
+  WorkerState state;
+  state.log = options.log;
+  state.socket = Socket::connect_to(options.host, options.port);
+
+  const WelcomeMsg welcome = do_handshake(state);
+  state.id = welcome.worker_id;
+
+  // Re-plan from the shipped spec and cross-check: render/parse round-trip
+  // plus fingerprint equality proves this binary would expand the exact
+  // same job grid the coordinator is merging into.
+  const ScenarioSpec spec =
+      ScenarioSpec::parse_string(welcome.spec_text, "<coordinator>");
+  state.plan = scenario::plan_campaign(spec);
+  if (state.plan.fingerprint != welcome.fingerprint) {
+    const std::string message =
+        "plan fingerprint mismatch: coordinator expects " +
+        std::to_string(welcome.fingerprint) + ", this binary plans " +
+        std::to_string(state.plan.fingerprint) +
+        " — planner diverged between builds; upgrade the stale side";
+    state.send(FrameType::kError, message);
+    throw SpecError(message);
+  }
+  state.cache = std::make_unique<GraphCache>([&state](const JobSpec& job) {
+    return scenario::build_campaign_graph(state.plan, job);
+  });
+  state.log_line("joined " + options.host + ":" +
+                 std::to_string(options.port) + " campaign '" +
+                 state.plan.name + "' (coordinator " + welcome.build_info +
+                 ")");
+
+  WorkerResult result;
+  result.worker_id = welcome.worker_id;
+  result.coordinator_build = welcome.build_info;
+
+  Frame frame;
+  while (true) {
+    state.send(FrameType::kLeaseRequest, "");
+    if (!state.socket.recv_frame(frame)) {
+      throw ProtocolError("coordinator closed while awaiting lease");
+    }
+    if (frame.type == FrameType::kShutdown) {
+      state.log_line("shutdown: campaign complete");
+      break;
+    }
+    if (frame.type == FrameType::kError) {
+      throw SpecError("coordinator error: " + frame.payload);
+    }
+    if (frame.type != FrameType::kLeaseGrant) {
+      throw ProtocolError(std::string("expected LEASE_GRANT, got ") +
+                          frame_type_name(frame.type));
+    }
+    const LeaseGrantMsg grant = decode_lease_grant(frame.payload);
+    state.log_line("lease shard " + std::to_string(grant.shard) + " (" +
+                   std::to_string(grant.jobs.size()) + " job(s))");
+    result.jobs_executed += run_shard(state, grant, options.threads);
+    ++result.shards_completed;
+  }
+  return result;
+}
+
+}  // namespace cobra::dist

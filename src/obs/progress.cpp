@@ -75,7 +75,21 @@ std::string render_status_json(const ProgressSnapshot& s) {
     append_number(out, w.utilization);
     out += '}';
   }
-  out += "]}\n";
+  out += "]";
+  if (s.dist.active) {
+    std::snprintf(buf, sizeof buf,
+                  ",\"dist\":{\"workers\":%zu,\"shards_total\":%zu,"
+                  "\"shards_pending\":%zu,\"shards_leased\":%zu,"
+                  "\"shards_done\":%zu,\"requeues\":%llu,"
+                  "\"results_merged\":%llu,\"duplicates\":%llu}",
+                  s.dist.workers, s.dist.shards_total, s.dist.shards_pending,
+                  s.dist.shards_leased, s.dist.shards_done,
+                  static_cast<unsigned long long>(s.dist.requeues),
+                  static_cast<unsigned long long>(s.dist.results_merged),
+                  static_cast<unsigned long long>(s.dist.duplicates));
+    out += buf;
+  }
+  out += "}\n";
   return out;
 }
 
@@ -107,7 +121,15 @@ std::string render_heartbeat(const ProgressSnapshot& s) {
                 static_cast<unsigned long long>(s.trials_done),
                 s.trials_per_sec, eta.c_str(),
                 static_cast<double>(s.peak_rss_bytes) / (1 << 20));
-  return buf;
+  std::string line = buf;
+  if (s.dist.active) {
+    std::snprintf(buf, sizeof buf,
+                  ", %zu worker(s), %zu/%zu shards, %llu requeue(s)",
+                  s.dist.workers, s.dist.shards_done, s.dist.shards_total,
+                  static_cast<unsigned long long>(s.dist.requeues));
+    line += buf;
+  }
+  return line;
 }
 
 ProgressReporter::ProgressReporter(Options options,

@@ -46,6 +46,21 @@ struct ProgressSnapshot {
     double utilization = 0.0;  ///< busy_seconds / elapsed
   };
   std::vector<Worker> workers;
+  /// Distributed-fabric counters; rendered as a "dist" object in
+  /// status.json only when active (single-process status stays unchanged
+  /// byte-for-byte). Filled by the dist coordinator.
+  struct Dist {
+    bool active = false;
+    std::size_t workers = 0;  ///< connected worker agents
+    std::size_t shards_total = 0;
+    std::size_t shards_pending = 0;
+    std::size_t shards_leased = 0;
+    std::size_t shards_done = 0;
+    std::uint64_t requeues = 0;
+    std::uint64_t results_merged = 0;
+    std::uint64_t duplicates = 0;
+  };
+  Dist dist;
 };
 
 /// Peak resident set size of this process in bytes (Linux: VmHWM from

@@ -440,6 +440,34 @@ std::shared_ptr<const Graph> build_job_graph(const CampaignPlan& plan,
   return std::make_shared<const Graph>(build_graph_instance(plan, job));
 }
 
+Graph build_campaign_graph(const CampaignPlan& plan, const JobSpec& job) {
+  return build_graph_instance(plan, job);
+}
+
+JobResult execute_campaign_job(const CampaignPlan& plan, const JobSpec& job,
+                               const Graph& g) {
+  return execute_job(plan, job, g, nullptr);
+}
+
+void write_campaign_sinks(const CampaignPlan& plan,
+                          const std::vector<std::optional<JobResult>>& jobs,
+                          const std::string& stem) {
+  std::ofstream jsonl(stem + ".jsonl", std::ios::trunc);
+  std::ofstream csv(stem + ".csv", std::ios::trunc);
+  if (!jsonl || !csv) {
+    throw SpecError("cannot write campaign outputs at stem '" + stem + "'");
+  }
+  const bool faulty =
+      std::any_of(plan.jobs.begin(), plan.jobs.end(),
+                  [](const JobSpec& j) { return !j.faults.empty(); });
+  csv << csv_header(faulty) << '\n';
+  for (const JobSpec& job : plan.jobs) {
+    const JobResult& job_result = *jobs[job.index];
+    jsonl << jsonl_record(plan, job, job_result) << '\n';
+    csv << csv_row(plan, job, job_result) << '\n';
+  }
+}
+
 CampaignResult run_campaign(const CampaignPlan& plan,
                             const CampaignOptions& options) {
   const std::size_t threads =
@@ -655,20 +683,7 @@ CampaignResult run_campaign(const CampaignPlan& plan,
   // deterministic and byte-identical however the campaign was interrupted.
   if (result.complete && !stem.empty()) {
     obs::TraceSpan span(trace, "sink_flush");
-    std::ofstream jsonl(stem + ".jsonl", std::ios::trunc);
-    std::ofstream csv(stem + ".csv", std::ios::trunc);
-    if (!jsonl || !csv) {
-      throw SpecError("cannot write campaign outputs at stem '" + stem + "'");
-    }
-    const bool faulty =
-        std::any_of(plan.jobs.begin(), plan.jobs.end(),
-                    [](const JobSpec& j) { return !j.faults.empty(); });
-    csv << csv_header(faulty) << '\n';
-    for (const JobSpec& job : plan.jobs) {
-      const JobResult& job_result = *result.jobs[job.index];
-      jsonl << jsonl_record(plan, job, job_result) << '\n';
-      csv << csv_row(plan, job, job_result) << '\n';
-    }
+    write_campaign_sinks(plan, result.jobs, stem);
   }
 
   if (telemetry != nullptr && !telemetry->write_trace()) {

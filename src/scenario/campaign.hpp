@@ -127,4 +127,23 @@ CampaignResult run_campaign(const CampaignPlan& plan,
 std::shared_ptr<const Graph> build_job_graph(const CampaignPlan& plan,
                                              const JobSpec& job);
 
+/// By-value variant for callers that manage their own cache (the dist
+/// worker feeds this into a GraphCache builder).
+Graph build_campaign_graph(const CampaignPlan& plan, const JobSpec& job);
+
+/// Executes one job of the plan on an already-built graph instance — the
+/// shard-scoped execution path the distributed worker drives. Identical to
+/// what run_campaign does per job (same seeding, same fault wiring), so a
+/// result computed remotely serializes byte-identically to a local one.
+JobResult execute_campaign_job(const CampaignPlan& plan, const JobSpec& job,
+                               const Graph& g);
+
+/// Writes `<stem>.jsonl` / `<stem>.csv` for a complete result set, in job
+/// order — deterministic and byte-identical however the results were
+/// produced (single process, resume, or distributed merge). Every entry
+/// must be present. Shared by run_campaign and the dist coordinator.
+void write_campaign_sinks(const CampaignPlan& plan,
+                          const std::vector<std::optional<JobResult>>& jobs,
+                          const std::string& stem);
+
 }  // namespace cobra::scenario

@@ -1,8 +1,11 @@
 // SPDX-License-Identifier: MIT
 #include "scenario/sink.hpp"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <sstream>
 
 namespace cobra::scenario {
@@ -107,10 +110,20 @@ bool read_summary_payload(std::istringstream& is, Summary& s) {
 std::string journal_header(const CampaignPlan& plan) {
   char buf[96];
   std::snprintf(buf, sizeof buf,
-                "cobra-scenario-journal v1 fp=%016llx jobs=%zu",
+                "cobra-scenario-journal v%u fp=%016llx jobs=%zu",
+                kJournalFormatVersion,
                 static_cast<unsigned long long>(plan.fingerprint),
                 plan.jobs.size());
   return buf;
+}
+
+/// Flush to the kernel, then to the platter. Worker kills make partial
+/// writes routine; an fsync per frame bounds the loss to exactly the frame
+/// being written when the power went (and the restore parser drops that
+/// torn tail and re-runs its job).
+void flush_and_sync(std::FILE* out) {
+  std::fflush(out);
+  ::fsync(::fileno(out));
 }
 
 }  // namespace
@@ -315,44 +328,60 @@ Journal::Journal(const std::string& path, const CampaignPlan& plan,
     }
   }
   // Rewrite header + restored frames from scratch: a kill mid-write leaves
-  // a partial line with no terminator, and appending after it would glue
-  // the next record onto the garbage, losing a valid checkpoint on the
-  // following resume. The rewrite goes through a temp file + rename so a
-  // kill during the rewrite itself cannot destroy prior checkpoints.
+  // a partial line with no terminator (a torn trailing frame), and
+  // appending after it would glue the next record onto the garbage, losing
+  // a valid checkpoint on the following resume. The rewrite truncates the
+  // torn tail away and continues; it goes through a temp file + rename
+  // (fsync'd before the rename) so a kill during the rewrite itself cannot
+  // destroy prior checkpoints.
   const std::string tmp = path + ".tmp";
   {
-    std::ofstream rewrite(tmp, std::ios::trunc);
-    if (!rewrite) {
+    std::FILE* rewrite = std::fopen(tmp.c_str(), "w");
+    if (rewrite == nullptr) {
       throw SpecError("cannot open journal '" + tmp + "' for writing");
     }
-    rewrite << header << '\n';
+    bool ok = std::fprintf(rewrite, "%s\n", header.c_str()) > 0;
     for (const auto& [index, result] : restored_) {
       const std::string payload = serialize_job_result(result);
-      rewrite << "job " << index << ' ' << payload.size() << ' ' << payload
-              << '\n';
+      ok = ok && std::fprintf(rewrite, "job %zu %zu %s\n", index,
+                              payload.size(), payload.c_str()) > 0;
     }
-    rewrite.flush();
-    if (!rewrite) {
-      throw SpecError("failed writing journal '" + tmp + "'");
-    }
+    flush_and_sync(rewrite);
+    ok = ok && std::ferror(rewrite) == 0;
+    std::fclose(rewrite);
+    if (!ok) throw SpecError("failed writing journal '" + tmp + "'");
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     throw SpecError("cannot replace journal '" + path + "'");
   }
-  out_.open(path, std::ios::app);
-  if (!out_) {
+  for (const auto& [index, result] : restored_) written_.insert(index);
+  out_ = std::fopen(path.c_str(), "a");
+  if (out_ == nullptr) {
     throw SpecError("cannot open journal '" + path + "' for writing");
   }
 }
 
+Journal::~Journal() {
+  if (out_ != nullptr) std::fclose(out_);
+}
+
 void Journal::append(std::size_t index, const JobResult& result) {
   const std::string payload = serialize_job_result(result);
-  out_ << "job " << index << ' ' << payload.size() << ' ' << payload << '\n'
-       << std::flush;
+  std::fprintf(out_, "job %zu %zu %s\n", index, payload.size(),
+               payload.c_str());
+  flush_and_sync(out_);
+  written_.insert(index);
+}
+
+bool Journal::merge(std::size_t index, const JobResult& result) {
+  if (contains(index)) return false;
+  append(index, result);
+  return true;
 }
 
 void Journal::note(const std::string& text) {
-  out_ << "note " << text << '\n' << std::flush;
+  std::fprintf(out_, "note %s\n", text.c_str());
+  flush_and_sync(out_);
 }
 
 }  // namespace cobra::scenario

@@ -8,19 +8,27 @@
 //   job <index> <payload-bytes> <payload>
 // The payload is a whitespace-separated JobResult serialization whose
 // doubles round-trip exactly (%.17g), so records restored on resume render
-// byte-identically to freshly computed ones. Each line is flushed as the
-// job completes; a line truncated by a kill fails its length check and is
-// simply re-run on resume.
+// byte-identically to freshly computed ones. Each line is flushed *and
+// fsync'd* as the job completes — with distributed workers a kill is a
+// routine event, not an edge case — and a frame torn by a kill mid-write
+// fails its length check on restore and is simply re-run (the restore
+// rewrite truncates it away and continues).
 #pragma once
 
 #include <cstdint>
-#include <fstream>
+#include <cstdio>
 #include <map>
+#include <set>
 #include <string>
 
 #include "scenario/campaign.hpp"
 
 namespace cobra::scenario {
+
+/// Journal on-disk format version (the "v1" in the header line). The
+/// distributed handshake exchanges it so a stale worker binary that would
+/// produce frames the coordinator cannot merge fails loudly up front.
+inline constexpr std::uint32_t kJournalFormatVersion = 1;
 
 /// Shortest decimal string that parses back to exactly `value`.
 std::string format_double(double value);
@@ -49,23 +57,44 @@ class Journal {
   /// a kill mid-write is dropped before new appends follow it.
   Journal(const std::string& path, const CampaignPlan& plan, bool resume);
 
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
   /// Restored (job index -> payload-parsed result) entries.
   const std::map<std::size_t, JobResult>& restored() const {
     return restored_;
   }
 
-  /// Appends one completed job and flushes. Not thread-safe; callers
-  /// serialize (the campaign runner appends under its results mutex).
+  /// True if `index` has a frame in this journal (restored or written by
+  /// this instance) — the idempotency check merge() is built on.
+  bool contains(std::size_t index) const {
+    return written_.count(index) != 0;
+  }
+
+  /// Appends one completed job, flushes, and fsyncs. Not thread-safe;
+  /// callers serialize (the campaign runner appends under its results
+  /// mutex, the dist coordinator under its merge mutex).
   void append(std::size_t index, const JobResult& result);
 
+  /// Merge-by-frame: appends `result` only if `index` has no frame yet,
+  /// returning whether a frame was written. Duplicate frames — a re-run
+  /// shard after a lease requeue, a slow worker racing its replacement —
+  /// are dropped here, which is what keeps a distributed campaign's journal
+  /// (and therefore its final sinks) byte-identical to a single-process
+  /// run whatever the worker failure pattern.
+  bool merge(std::size_t index, const JobResult& result);
+
   /// Appends a free-form telemetry frame ("note <text>") and flushes —
-  /// e.g. per-graph build times. Note frames are skipped by the resume
-  /// parser and dropped on rewrite; they never affect campaign results.
+  /// e.g. per-graph build times or worker build-info stamps. Note frames
+  /// are skipped by the resume parser and dropped on rewrite; they never
+  /// affect campaign results.
   void note(const std::string& text);
 
  private:
-  std::ofstream out_;
+  std::FILE* out_ = nullptr;
   std::map<std::size_t, JobResult> restored_;
+  std::set<std::size_t> written_;  ///< restored + appended indices
 };
 
 }  // namespace cobra::scenario

@@ -143,6 +143,23 @@ void ScenarioSpec::set(std::string_view section, std::string_view key,
   target.entries.push_back({std::string(key), std::move(value), 0});
 }
 
+std::string ScenarioSpec::render() const {
+  std::string out;
+  for (const auto& sec : sections_) {
+    if (!out.empty()) out += '\n';
+    out += '[';
+    out += sec.name;
+    out += "]\n";
+    for (const auto& entry : sec.entries) {
+      out += entry.key;
+      out += " = ";
+      out += entry.value;
+      out += '\n';
+    }
+  }
+  return out;
+}
+
 const SpecSection* ScenarioSpec::section(std::string_view name) const {
   for (const auto& sec : sections_) {
     if (sec.name == name) return &sec;

@@ -76,6 +76,13 @@ class ScenarioSpec {
   /// creates the section on demand and overwrites an existing key.
   void set(std::string_view section, std::string_view key, std::string value);
 
+  /// Renders the spec back to its plain-text form (sections and entries in
+  /// their current order). render() of a parse of a render is the identity,
+  /// so a plan built from the rendered text is the plan built from this
+  /// spec — the distributed handshake ships campaigns this way and the
+  /// worker re-plans and cross-checks the fingerprint.
+  std::string render() const;
+
   const SpecSection* section(std::string_view name) const;
   const std::vector<SpecSection>& sections() const { return sections_; }
   const std::string& source() const { return source_; }

@@ -1,0 +1,29 @@
+// SPDX-License-Identifier: MIT
+#include "util/build_info.hpp"
+
+// CMake defines these on this translation unit only, so an edit to the
+// flags or a new commit recompiles one file, not the library.
+#ifndef COBRA_GIT_HASH
+#define COBRA_GIT_HASH "unknown"
+#endif
+#ifndef COBRA_COMPILER
+#define COBRA_COMPILER "unknown"
+#endif
+#ifndef COBRA_BUILD_FLAGS
+#define COBRA_BUILD_FLAGS "unknown"
+#endif
+
+namespace cobra {
+
+std::string build_git_hash() { return COBRA_GIT_HASH; }
+
+std::string build_compiler() { return COBRA_COMPILER; }
+
+std::string build_flags() { return COBRA_BUILD_FLAGS; }
+
+std::string build_info_string() {
+  return "git=" + build_git_hash() + " compiler=" + build_compiler() +
+         " flags=" + build_flags();
+}
+
+}  // namespace cobra

@@ -442,6 +442,42 @@ TEST(Journal, PartialFrameFromKillIsDroppedOnResume) {
   EXPECT_EQ(read_file(stem + ".jsonl"), read_file(clean + ".jsonl"));
 }
 
+TEST(SpecRender, RoundTripIsIdentityAndKeepsOverrides) {
+  ScenarioSpec spec = ScenarioSpec::parse_string(kTinySpec);
+  // CLI-style override lands in the rendered text, so a shipped spec
+  // carries exactly what was planned (the dist handshake depends on this).
+  spec.set("campaign", "trials", "8");
+  const std::string rendered = spec.render();
+  EXPECT_NE(rendered.find("trials = 8"), std::string::npos);
+  const ScenarioSpec reparsed = ScenarioSpec::parse_string(rendered);
+  EXPECT_EQ(reparsed.render(), rendered);
+  EXPECT_EQ(plan_campaign(spec).fingerprint,
+            plan_campaign(reparsed).fingerprint);
+}
+
+TEST(Journal, MergeDropsSecondFrameForSameJob) {
+  const auto spec = ScenarioSpec::parse_string(kTinySpec);
+  const auto plan = plan_campaign(spec);
+  const std::string path = ::testing::TempDir() + "scenario_merge.journal";
+  std::remove(path.c_str());
+  JobResult result;
+  result.trials = plan.trials;
+  const double rounds[] = {5.0};
+  result.rounds = summarize(rounds);
+  result.transmissions = summarize(rounds);
+  result.graph_name = "g";
+  {
+    Journal journal(path, plan, /*resume=*/true);
+    EXPECT_TRUE(journal.merge(1, result));
+    EXPECT_FALSE(journal.merge(1, result));  // duplicate frame dropped
+    EXPECT_TRUE(journal.contains(1));
+  }
+  Journal reloaded(path, plan, /*resume=*/true);
+  EXPECT_EQ(reloaded.restored().size(), 1u);
+  EXPECT_FALSE(reloaded.merge(1, result));  // still idempotent after reopen
+  std::remove(path.c_str());
+}
+
 TEST(Sweep, StartRotationSkipsIsolatedVertices) {
   // Vertices 0..3 form a 4-cycle; vertex 4 is isolated. The rotation must
   // never hand a degree-0 start to a process.

@@ -15,14 +15,19 @@
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "core/faults.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/protocol.hpp"
+#include "dist/worker.hpp"
 #include "scenario/campaign.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/sink.hpp"
 #include "scenario/spec.hpp"
+#include "util/build_info.hpp"
 #include "util/flags.hpp"
 #include "util/stopwatch.hpp"
 
@@ -88,12 +93,31 @@ void print_registries() {
   }
 }
 
+/// Splits "host:port"; returns false on a malformed value.
+bool parse_host_port(const std::string& value, std::string& host,
+                     std::uint16_t& port) {
+  const std::size_t colon = value.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == value.size()) {
+    return false;
+  }
+  std::int64_t parsed = 0;
+  if (!parse_spec_int(value.substr(colon + 1), parsed) || parsed < 1 ||
+      parsed > 65535) {
+    return false;
+  }
+  host = value.substr(0, colon);
+  port = static_cast<std::uint16_t>(parsed);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
   // Query every flag up front so --help can render the full set.
   const bool help = flags.help_requested();
+  const bool version = flags.has("version");
   const bool list = flags.has("list");
   const bool dry_run = flags.has("dry-run");
   const bool fresh = flags.has("fresh");
@@ -121,6 +145,22 @@ int main(int argc, char** argv) {
   const std::string trace_value = flags.get("trace", "1");
   const bool have_rounds = flags.has("rounds");
   const std::string rounds_value = flags.get("rounds", "1");
+  // Distributed fabric: --serve [PORT] turns this process into the
+  // coordinator for the given spec; --connect HOST:PORT turns it into a
+  // worker agent (no spec needed — the coordinator ships it).
+  const bool have_serve = flags.has("serve");
+  const std::string serve_value = flags.get("serve", "");
+  const std::string port_file = flags.get("port-file", "");
+  const std::int64_t shard_size = flags.get_int("shard-size", 0);
+  const double lease_timeout = flags.get_double("lease-timeout", 30.0);
+  const std::string connect = flags.get("connect", "");
+
+  if (version) {
+    std::printf("scenario_runner %s\n", build_info_string().c_str());
+    std::printf("dist protocol v%u, journal format v%u\n",
+                dist::kProtocolVersion, kJournalFormatVersion);
+    return 0;
+  }
 
   if (help) {
     std::printf(
@@ -136,6 +176,11 @@ int main(int argc, char** argv) {
         "--trace [path] writes a Chrome trace (load in Perfetto); --rounds\n"
         "[path] samples per-round process telemetry to JSONL. Values are\n"
         "consumed greedily, so put the spec path before bare toggles.\n\n"
+        "Distributed campaigns: --serve [PORT] makes this process the\n"
+        "coordinator (add --port-file PATH to publish a kernel-assigned\n"
+        "port); `scenario_runner --connect HOST:PORT` or the dedicated\n"
+        "campaign_worker binary joins as a worker agent. Output files are\n"
+        "byte-identical to a single-process run of the same spec.\n\n"
         "flags:\n");
     flags.print_help(std::cout);
     std::printf("\n");
@@ -146,6 +191,35 @@ int main(int argc, char** argv) {
     print_registries();
     flags.warn_unconsumed(std::cerr);
     return 0;
+  }
+
+  if (!connect.empty()) {
+    // Worker agent mode: the coordinator ships the spec, so none is given
+    // here — just connect and work until SHUTDOWN.
+    std::string host;
+    std::uint16_t port = 0;
+    if (!parse_host_port(connect, host, port)) {
+      std::fprintf(stderr, "error: --connect expects HOST:PORT, got '%s'\n",
+                   connect.c_str());
+      return 1;
+    }
+    flags.warn_unconsumed(std::cerr);
+    try {
+      dist::WorkerOptions options;
+      options.host = host;
+      options.port = port;
+      options.threads =
+          threads > 0 ? static_cast<std::size_t>(threads) : 0;
+      if (!quiet) options.log = &std::cout;
+      const dist::WorkerResult result = dist::run_worker(options);
+      std::printf("worker %llu done: %zu shard(s), %zu job(s) executed\n",
+                  static_cast<unsigned long long>(result.worker_id),
+                  result.shards_completed, result.jobs_executed);
+      return 0;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
   }
 
   if (flags.positionals().empty()) {
@@ -286,6 +360,69 @@ int main(int argc, char** argv) {
                     any_unknown ? "  [some jobs unknown]" : "");
       }
       flags.warn_unconsumed(std::cerr);
+      return 0;
+    }
+
+    if (have_serve) {
+      // Coordinator mode: lease shards to --connect'ed workers and merge
+      // their result frames; sinks come out byte-identical to a local run.
+      std::int64_t port_value = 0;
+      if (!serve_value.empty() &&
+          (!parse_spec_int(serve_value, port_value) || port_value < 0 ||
+           port_value > 65535)) {
+        std::fprintf(stderr,
+                     "error: --serve expects a port (0 or omitted = "
+                     "kernel-assigned), got '%s'\n",
+                     serve_value.c_str());
+        return 1;
+      }
+      dist::CoordinatorOptions serve_options;
+      serve_options.port = static_cast<std::uint16_t>(port_value);
+      serve_options.shard_size =
+          shard_size > 0 ? static_cast<std::size_t>(shard_size) : 0;
+      serve_options.lease_timeout_seconds = lease_timeout;
+      serve_options.resume = !fresh;
+      serve_options.output = output;
+      if (!quiet) serve_options.log = &std::cout;
+      const std::string stem = !output.empty() ? output : plan.output;
+      TelemetryConfig telemetry = plan.telemetry;
+      if (telemetry.progress_interval > 0.0 || telemetry.status) {
+        telemetry.resolve_paths(stem);
+        serve_options.status_path = telemetry.status_path;
+      }
+      if (telemetry.progress_interval > 0.0) {
+        serve_options.progress_interval = telemetry.progress_interval;
+        serve_options.heartbeat = &std::cerr;
+      }
+      flags.warn_unconsumed(std::cerr);
+
+      dist::Coordinator coordinator(plan, spec.render(), serve_options);
+      if (!port_file.empty()) {
+        std::ofstream pf(port_file, std::ios::trunc);
+        pf << coordinator.port() << "\n";
+        if (!pf) {
+          std::fprintf(stderr, "error: cannot write --port-file %s\n",
+                       port_file.c_str());
+          return 1;
+        }
+      }
+      std::printf("serving campaign '%s' (%zu jobs) on 127.0.0.1:%u\n",
+                  plan.name.c_str(), plan.jobs.size(),
+                  static_cast<unsigned>(coordinator.port()));
+      std::fflush(stdout);  // launcher scripts wait for this line
+
+      const dist::CoordinatorResult served = coordinator.serve();
+      std::printf("campaign '%s': %zu/%zu jobs done (%zu resumed, %zu "
+                  "merged from %zu worker(s)) in %.1fs; %zu duplicate "
+                  "frame(s) dropped, %zu requeue(s)\n",
+                  plan.name.c_str(), served.resumed + served.merged,
+                  plan.jobs.size(), served.resumed, served.merged,
+                  served.workers_served, watch.seconds(),
+                  served.duplicates, served.requeues);
+      if (served.complete) {
+        std::printf("wrote %s.jsonl and %s.csv\n", stem.c_str(),
+                    stem.c_str());
+      }
       return 0;
     }
 
