@@ -10,6 +10,9 @@
 //   ./micro_engine [--scale small|medium|large] [--trials N] [--seed S]
 //                  [--threads T] [--out BENCH_engine.json]
 #include <cstdio>
+#include <functional>
+#include <memory>
+#include <numeric>
 #include <string>
 #include <thread>
 #include <vector>
@@ -17,6 +20,8 @@
 #include "core/bips.hpp"
 #include "core/cobra.hpp"
 #include "graph/generators.hpp"
+#include "protocols/push_pull.hpp"
+#include "sim/batched.hpp"
 #include "sim/trial_runner.hpp"
 #include "util/flags.hpp"
 #include "util/scale.hpp"
@@ -214,6 +219,37 @@ Throughput time_engine_bips(const Graph& g, std::uint64_t seed,
   return t;
 }
 
+/// Batched lockstep leg: the same trials through run_process_trials_batched
+/// (B = 1 exercises the scalar fallback, so its throughput doubles as an
+/// overhead check). Serial — the point is lanes per pass, not threads.
+Throughput time_runner(std::uint64_t seed, std::size_t trials,
+                       const std::function<std::unique_ptr<Process>()>& make,
+                       std::span<const Vertex> starts, std::size_t batch) {
+  TrialOptions options;
+  options.trials = trials;
+  options.base_seed = seed;
+  options.threads = 0;
+  Throughput t;
+  t.trials = trials;
+  Stopwatch watch;
+  const auto results =
+      batch == 0 ? run_process_trials(options, make, starts)
+                 : run_process_trials_batched(options, make, starts, batch);
+  t.seconds = watch.seconds();
+  for (const auto& r : results) {
+    t.rounds += r.rounds;
+    t.visits += r.final_count;
+    t.failed += !r.completed;
+  }
+  return t;
+}
+
+double visits_speedup(const Throughput& batched, const Throughput& scalar) {
+  return scalar.visits_per_sec() > 0
+             ? batched.visits_per_sec() / scalar.visits_per_sec()
+             : 0;
+}
+
 void print_row(const char* label, const Throughput& t) {
   std::printf("  %-10s %8.3fs  %12.0f rounds/s  %14.0f visits/s%s\n", label,
               t.seconds, t.rounds_per_sec(), t.visits_per_sec(),
@@ -257,6 +293,11 @@ int main(int argc, char** argv) {
   const std::size_t bips_trials =
       trials_flag > 0 ? static_cast<std::size_t>(trials_flag)
                       : std::max<std::size_t>(2, cobra_trials / 2);
+  // The batched legs need enough trials to fill 32 lanes twice over;
+  // their scalar reference is re-timed at the same count.
+  const std::size_t batched_trials =
+      trials_flag > 0 ? std::max<std::size_t>(trials_flag, 64) : 64;
+  const std::size_t batches[] = {1, 8, 32};
 
   Rng graph_rng(seed);
   struct Instance {
@@ -316,6 +357,59 @@ int main(int argc, char** argv) {
     std::printf("  speedup: %.2fx scalar, %.2fx with dispatch\n",
                 speedup(bips_engine, bips_base), speedup(bips_mt, bips_base));
 
+    // Batched lockstep legs: same trials, serial, lanes doing the work.
+    std::vector<Vertex> starts(g.num_vertices());
+    std::iota(starts.begin(), starts.end(), Vertex{0});
+    CobraOptions batched_cobra_options;
+    batched_cobra_options.branching.k = 2;
+    batched_cobra_options.record_curves = false;
+    batched_cobra_options.max_rounds = kMaxRounds;
+    const auto make_cobra = [&]() -> std::unique_ptr<Process> {
+      return std::make_unique<CobraProcess>(g, 0, batched_cobra_options);
+    };
+    BipsOptions batched_bips_options;
+    batched_bips_options.branching.k = 2;
+    batched_bips_options.record_curve = false;
+    batched_bips_options.max_rounds = kMaxRounds;
+    const auto make_bips = [&]() -> std::unique_ptr<Process> {
+      return std::make_unique<BipsProcess>(g, 0, batched_bips_options);
+    };
+    PushPullOptions batched_pp_options;
+    batched_pp_options.record_curve = false;
+    batched_pp_options.max_rounds = kMaxRounds;
+    const auto make_pp = [&]() -> std::unique_ptr<Process> {
+      return std::make_unique<PushPullProcess>(g, batched_pp_options);
+    };
+    struct BatchedLeg {
+      Throughput scalar;
+      std::vector<Throughput> legs;
+    };
+    const auto run_batched =
+        [&](const char* title,
+            const std::function<std::unique_ptr<Process>()>& make) {
+          std::printf(" %s batched (%zu trials, serial):\n", title,
+                      batched_trials);
+          BatchedLeg leg;
+          leg.scalar = time_runner(seed, batched_trials, make, starts, 0);
+          print_row("scalar", leg.scalar);
+          for (const std::size_t b : batches) {
+            leg.legs.push_back(
+                time_runner(seed, batched_trials, make, starts, b));
+            char label[16];
+            std::snprintf(label, sizeof label, "b%zu", b);
+            print_row(label, leg.legs.back());
+          }
+          std::printf("  batched speedup (visits/s vs scalar): %.2fx @1, "
+                      "%.2fx @8, %.2fx @32\n",
+                      visits_speedup(leg.legs[0], leg.scalar),
+                      visits_speedup(leg.legs[1], leg.scalar),
+                      visits_speedup(leg.legs[2], leg.scalar));
+          return leg;
+        };
+    const BatchedLeg cobra_batched = run_batched("COBRA (k=2)", make_cobra);
+    const BatchedLeg bips_batched = run_batched("BIPS (k=2)", make_bips);
+    const BatchedLeg pp_batched = run_batched("push-pull", make_pp);
+
     std::fprintf(out, "    {\"family\": \"%s\", \"graph\": \"%s\", ",
                  instance.family.c_str(), g.name().c_str());
     std::fprintf(out, "\"n\": %zu, \"m\": %zu,\n", g.num_vertices(),
@@ -335,9 +429,31 @@ int main(int argc, char** argv) {
     emit_throughput(out, "engine_mt", bips_mt, threads);
     std::fprintf(out,
                  "      \"speedup_scalar\": %.3f, \"speedup_mt\": %.3f\n"
-                 "     }}%s\n",
-                 speedup(bips_engine, bips_base), speedup(bips_mt, bips_base),
-                 idx + 1 < instances.size() ? "," : "");
+                 "     },\n",
+                 speedup(bips_engine, bips_base), speedup(bips_mt, bips_base));
+    const auto emit_batched = [&](const char* key,
+                                  const Throughput& scalar_ref,
+                                  const std::vector<Throughput>& legs) {
+      std::fprintf(out, "     \"%s\": {\n", key);
+      emit_throughput(out, "scalar", scalar_ref, 1);
+      for (std::size_t i = 0; i < legs.size(); ++i) {
+        char name[16];
+        std::snprintf(name, sizeof name, "b%zu", batches[i]);
+        emit_throughput(out, name, legs[i], 1);
+      }
+      std::fprintf(out,
+                   "      \"speedup_b1\": %.3f, \"speedup_b8\": %.3f, "
+                   "\"speedup_b32\": %.3f\n     }",
+                   visits_speedup(legs[0], scalar_ref),
+                   visits_speedup(legs[1], scalar_ref),
+                   visits_speedup(legs[2], scalar_ref));
+    };
+    emit_batched("cobra_batched", cobra_batched.scalar, cobra_batched.legs);
+    std::fprintf(out, ",\n");
+    emit_batched("bips_batched", bips_batched.scalar, bips_batched.legs);
+    std::fprintf(out, ",\n");
+    emit_batched("push_pull_batched", pp_batched.scalar, pp_batched.legs);
+    std::fprintf(out, "}%s\n", idx + 1 < instances.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);

@@ -14,6 +14,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <new>
 #include <string>
 #include <vector>
@@ -23,6 +24,7 @@
 #include "obs/metrics.hpp"
 #include "obs/rounds.hpp"
 #include "rand/rng.hpp"
+#include "sim/batched.hpp"
 #include "util/flags.hpp"
 #include "util/scale.hpp"
 #include "util/stopwatch.hpp"
@@ -165,6 +167,69 @@ TelemetryBench bench_telemetry(const Graph& g, std::uint64_t seed,
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// Batched-engine leg: the same workspace-reuse contract for the lockstep
+// engine (sim/batched.hpp). Block 0 is warm-up (first-touch growth of the
+// lane planes and scratch lists); every later run_block must perform ZERO
+// allocations, mirroring the scalar reset+step gate above. Processes with
+// no batched variant are skipped — the scalar rows already cover them.
+// ---------------------------------------------------------------------------
+
+struct BatchedRow {
+  std::string name;
+  std::size_t batch = 0;
+  std::size_t blocks = 0;
+  std::uint64_t warmup_allocations = 0;  ///< block 0: first-touch growth
+  std::uint64_t steady_allocations = 0;  ///< blocks 1..B-1 combined
+  std::uint64_t total_rounds = 0;
+  double steady_seconds = 0;
+
+  double rounds_per_sec() const {
+    return steady_seconds > 0
+               ? static_cast<double>(total_rounds) / steady_seconds
+               : 0;
+  }
+};
+
+bool bench_batched(const Graph& g, const std::string& name,
+                   ProcessParams params, std::uint64_t seed,
+                   std::size_t blocks, std::size_t batch, BatchedRow* out) {
+  params.emplace_back("record_curve", "0");
+  const auto process = make_process(g, name, params);
+  const auto engine = make_batched_engine(*process, batch);
+  if (engine == nullptr) return false;  // no batched variant for this process
+
+  BatchedRow row;
+  row.name = name;
+  row.batch = batch;
+  row.blocks = blocks;
+  const std::size_t n = g.num_vertices();
+  std::vector<Vertex> starts(batch);
+  for (std::size_t l = 0; l < batch; ++l) {
+    starts[l] = static_cast<Vertex>(l % n);
+  }
+  std::vector<SpreadResult> results(batch);
+  Stopwatch watch;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+    if (b == 1) watch.reset();
+    engine->run_block(seed, b * batch, batch, starts, results.data());
+    const std::uint64_t spent =
+        g_allocations.load(std::memory_order_relaxed) - before;
+    if (b == 0) {
+      row.warmup_allocations = spent;
+    } else {
+      row.steady_allocations += spent;
+      for (std::size_t l = 0; l < batch; ++l) {
+        row.total_rounds += results[l].rounds;
+      }
+    }
+  }
+  row.steady_seconds = blocks > 1 ? watch.seconds() : 0;
+  *out = row;
+  return true;
+}
+
 BenchRow bench_process(const Graph& g, const std::string& name,
                        ProcessParams params, std::uint64_t seed,
                        std::size_t trials) {
@@ -241,6 +306,37 @@ int main(int argc, char** argv) {
                     "registry\n"
                   : "steady state: some processes still allocate per trial\n");
 
+  // Batched-engine gate: after the warm-up block, every run_block of the
+  // lockstep engine must be allocation-free too (curve recording off, the
+  // campaign hot path). Nonzero steady allocations fail the exit status.
+  const auto batch = static_cast<std::size_t>(flags.get_int("batch", 32));
+  const std::size_t blocks = trials;  // same steady-state depth as above
+  std::printf("%-16s %9s %12s %14s %12s\n", "batched[B]", "blocks",
+              "rounds/sec", "steady allocs", "warm allocs");
+  std::vector<BatchedRow> batched_rows;
+  bool batched_zero = true;
+  for (const std::string& name : process_names()) {
+    ProcessParams params;
+    if (name == "sis") params.emplace_back("max_rounds", "4096");
+    BatchedRow row;
+    if (!bench_batched(g, name, params, seed, blocks, batch, &row)) continue;
+    const double per_block =
+        row.blocks > 1 ? static_cast<double>(row.steady_allocations) /
+                             static_cast<double>(row.blocks - 1)
+                       : 0;
+    batched_zero = batched_zero && row.steady_allocations == 0;
+    std::printf("%-13s %2zu %9zu %12.0f %11.1f/b %12llu%s\n", row.name.c_str(),
+                row.batch, row.blocks, row.rounds_per_sec(), per_block,
+                static_cast<unsigned long long>(row.warmup_allocations),
+                row.steady_allocations == 0 ? "" : "  [ALLOCATES]");
+    batched_rows.push_back(row);
+  }
+  std::printf(batched_zero
+                  ? "batched steady state: zero per-block allocations across "
+                    "the supported set\n"
+                  : "batched steady state: some engines still allocate per "
+                    "block\n");
+
   // Telemetry-overhead gate: <= --telemetry-overhead-pct (default 3) and
   // zero steady-state allocations with the full per-trial instrumentation
   // attached, or the bench exits nonzero.
@@ -272,6 +368,8 @@ int main(int argc, char** argv) {
                g.num_edges());
   std::fprintf(out, "  \"zero_steady_state_allocations\": %s,\n",
                all_zero ? "true" : "false");
+  std::fprintf(out, "  \"zero_steady_state_batched_allocations\": %s,\n",
+               batched_zero ? "true" : "false");
   std::fprintf(out, "  \"processes\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const BenchRow& row = rows[i];
@@ -286,6 +384,22 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(row.steady_allocations),
         static_cast<unsigned long long>(row.total_rounds), row.steady_seconds,
         row.rounds_per_sec(), i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"batched\": [\n");
+  for (std::size_t i = 0; i < batched_rows.size(); ++i) {
+    const BatchedRow& row = batched_rows[i];
+    std::fprintf(
+        out,
+        "    {\"name\": \"%s\", \"batch\": %zu, \"blocks\": %zu, "
+        "\"warmup_allocations\": %llu, \"steady_allocations\": %llu, "
+        "\"total_rounds\": %llu, \"steady_seconds\": %.6f, "
+        "\"rounds_per_sec\": %.1f}%s\n",
+        row.name.c_str(), row.batch, row.blocks,
+        static_cast<unsigned long long>(row.warmup_allocations),
+        static_cast<unsigned long long>(row.steady_allocations),
+        static_cast<unsigned long long>(row.total_rounds), row.steady_seconds,
+        row.rounds_per_sec(), i + 1 < batched_rows.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
   std::fprintf(out,
@@ -303,5 +417,5 @@ int main(int argc, char** argv) {
   for (const auto& name : flags.unconsumed()) {
     std::fprintf(stderr, "warning: unrecognized flag --%s\n", name.c_str());
   }
-  return all_zero && telemetry_ok ? 0 : 1;
+  return all_zero && batched_zero && telemetry_ok ? 0 : 1;
 }

@@ -2,8 +2,13 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <unordered_set>
 #include <vector>
 
@@ -11,6 +16,7 @@
 #include "graph/builder.hpp"
 #include "graph/generators.hpp"
 #include "rand/sampling.hpp"
+#include "sim/thread_pool.hpp"
 
 namespace cobra::gen {
 
@@ -37,6 +43,142 @@ std::vector<std::pair<Vertex, Vertex>> random_pairing(std::size_t n,
   for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
     edges.emplace_back(stubs[i], stubs[i + 1]);
   }
+  return edges;
+}
+
+/// Below this many stubs the keyed pairing runs serially — pool spin-up
+/// would dominate the key draws and the bucket sort.
+constexpr std::size_t kParallelStubThreshold = 1 << 15;
+/// Fixed chunk size for the key-drawing passes: chunk c draws from
+/// Rng::for_trial(master, c), so chunk boundaries must not depend on the
+/// thread count or the sample would.
+constexpr std::size_t kStubChunk = 1 << 15;
+
+/// Scoped pool for one pairing, honouring the same global knob as graph
+/// assembly (GraphBuilder::set_default_threads): workers = threads-1, the
+/// calling thread participates, or no pool at all for small problems.
+class GenPool {
+ public:
+  explicit GenPool(std::size_t work_items) {
+    std::size_t threads = GraphBuilder::default_threads();
+    if (threads == 0) {
+      threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    }
+    if (threads > 1 && work_items >= kParallelStubThreshold) {
+      pool_.emplace(threads - 1);
+    }
+  }
+
+  void run(std::size_t chunks, const std::function<void(std::size_t)>& fn) {
+    if (!pool_.has_value()) {
+      for (std::size_t c = 0; c < chunks; ++c) fn(c);
+      return;
+    }
+    std::mutex mutex;
+    std::exception_ptr error;
+    pool_->parallel_for(chunks, [&](std::size_t c) {
+      try {
+        fn(c);
+      } catch (...) {
+        std::lock_guard lock(mutex);
+        if (!error) error = std::current_exception();
+      }
+    });
+    if (error) std::rethrow_exception(error);
+  }
+
+ private:
+  std::optional<ThreadPool> pool_;
+};
+
+/// Parallel configuration-model pairing: every stub draws an independent
+/// uniform 64-bit key from its chunk's stream (Rng::for_trial(master, c)),
+/// stubs are sorted by (key, stub index) with a 256-bucket parallel radix
+/// pass, and consecutive sorted stubs pair up. Sorting i.i.d. uniform keys
+/// induces a uniformly random permutation of the stubs (ties — probability
+/// ~S^2/2^65 — fall back to index order, a bias far below detectability),
+/// so the pairing has exactly the distribution of random_pairing's
+/// Fisher-Yates shuffle while every pass over the S = n*r stubs runs in
+/// parallel. The result is a pure function of (master, n, r) — chunk
+/// boundaries, bucket order, and tie-breaks are all thread-count
+/// independent.
+std::vector<std::pair<Vertex, Vertex>> keyed_pairing(std::size_t n,
+                                                     std::size_t r,
+                                                     std::uint64_t master) {
+  struct KeyedStub {
+    std::uint64_t key;
+    std::uint32_t index;
+  };
+  constexpr std::size_t kBuckets = 256;
+  const std::size_t total = n * r;
+  const std::size_t chunks = (total + kStubChunk - 1) / kStubChunk;
+  GenPool pool(total);
+
+  // Pass 1: draw keys, histogram the top byte per (chunk, bucket).
+  std::vector<std::uint64_t> keys(total);
+  std::vector<std::size_t> counts(chunks * kBuckets, 0);
+  pool.run(chunks, [&](std::size_t c) {
+    Rng chunk_rng = Rng::for_trial(master, c);
+    const std::size_t begin = c * kStubChunk;
+    const std::size_t end = std::min(begin + kStubChunk, total);
+    std::size_t* count = counts.data() + c * kBuckets;
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::uint64_t key = chunk_rng();
+      keys[i] = key;
+      ++count[key >> 56];
+    }
+  });
+
+  // Serial prefix over (bucket-major, chunk-minor) fixes every stub's
+  // scatter segment; bucket b occupies [bucket_begin[b], bucket_begin[b+1]).
+  std::vector<std::size_t> starts(chunks * kBuckets);
+  std::vector<std::size_t> bucket_begin(kBuckets + 1);
+  std::size_t acc = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    bucket_begin[b] = acc;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      starts[c * kBuckets + b] = acc;
+      acc += counts[c * kBuckets + b];
+    }
+  }
+  bucket_begin[kBuckets] = acc;
+
+  // Pass 2: scatter — each chunk owns its (chunk, bucket) segments, so the
+  // writes race-freely land at positions independent of scheduling.
+  std::vector<KeyedStub> sorted(total);
+  pool.run(chunks, [&](std::size_t c) {
+    std::size_t position[kBuckets];
+    std::copy_n(starts.data() + c * kBuckets, kBuckets, position);
+    const std::size_t begin = c * kStubChunk;
+    const std::size_t end = std::min(begin + kStubChunk, total);
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::uint64_t key = keys[i];
+      sorted[position[key >> 56]++] = {key,
+                                       static_cast<std::uint32_t>(i)};
+    }
+  });
+
+  // Pass 3: per-bucket comparison sort finishes the global (key, index)
+  // order, one independent range per bucket.
+  pool.run(kBuckets, [&](std::size_t b) {
+    std::sort(sorted.begin() + static_cast<std::ptrdiff_t>(bucket_begin[b]),
+              sorted.begin() + static_cast<std::ptrdiff_t>(bucket_begin[b + 1]),
+              [](const KeyedStub& x, const KeyedStub& y) {
+                return x.key != y.key ? x.key < y.key : x.index < y.index;
+              });
+  });
+
+  // Pass 4: consecutive sorted stubs pair; stub index / r is its vertex.
+  std::vector<std::pair<Vertex, Vertex>> edges(total / 2);
+  const std::size_t edge_chunks = (edges.size() + kStubChunk - 1) / kStubChunk;
+  pool.run(edge_chunks, [&](std::size_t c) {
+    const std::size_t begin = c * kStubChunk;
+    const std::size_t end = std::min(begin + kStubChunk, edges.size());
+    for (std::size_t e = begin; e < end; ++e) {
+      edges[e] = {static_cast<Vertex>(sorted[2 * e].index / r),
+                  static_cast<Vertex>(sorted[2 * e + 1].index / r)};
+    }
+  });
   return edges;
 }
 
@@ -124,19 +266,22 @@ Graph random_regular(std::size_t n, std::size_t r, Rng& rng) {
   // exactly-uniform distribution cheaply. For larger r we fall back to
   // switch repair after a few failed rejections.
   //
-  // The sampling loop is bitwise-identical to random_regular_serial: every
-  // RNG draw (pairing shuffles, repair switches) and every accept/reject
-  // decision is unchanged; only the accepted pairing's assembly moved to
-  // the parallel two-pass build (which consumes no randomness and produces
-  // the same canonical CSR).
+  // Each attempt derives a fresh master from the caller's stream and runs
+  // the keyed parallel pairing (per-chunk streams, bucket sort) — a
+  // restructured sampler, so the sequence differs from
+  // random_regular_serial's single-stream Fisher-Yates shuffle while the
+  // pairing distribution is identical; the serial variant is the
+  // distributional oracle (chi-square compared in tests/substrate_test.cpp).
+  // Like erdos_renyi, the sample is a pure function of (seed, n, r),
+  // independent of thread count.
   const int rejection_budget = (r <= 6) ? 256 : 4;
   for (int attempt = 0; attempt < rejection_budget; ++attempt) {
-    auto edges = random_pairing(n, r, rng);
+    auto edges = keyed_pairing(n, r, rng());
     if (!pairing_is_simple(edges)) continue;
     return build_simple_edges(n, std::move(edges), name);
   }
   for (int attempt = 0; attempt < 64; ++attempt) {
-    auto edges = random_pairing(n, r, rng);
+    auto edges = keyed_pairing(n, r, rng());
     if (!repair_pairing(edges, rng)) continue;
     return build_simple_edges(n, std::move(edges), name);
   }

@@ -22,6 +22,7 @@ PushProcess::PushProcess(const Graph& g, PushOptions options)
     alias_ = &g.alias_tables();
   }
   informed_list_.reserve(g.num_vertices());
+  new_informed_.reserve(g.num_vertices());
 }
 
 void PushProcess::do_reset(std::span<const Vertex> starts) {
@@ -40,6 +41,7 @@ void PushProcess::do_reset(std::span<const Vertex> starts) {
   }
   std::fill(informed_.begin(), informed_.end(), char{0});
   informed_list_.clear();
+  new_informed_.clear();
   informed_[start] = 1;
   informed_list_.push_back(start);
   round_ = 0;
@@ -54,6 +56,7 @@ void PushProcess::do_step(Rng& rng) {
   }
   const Graph& g = *graph_;
   const std::size_t senders = informed_list_.size();
+  new_informed_.clear();
   for (std::size_t i = 0; i < senders; ++i) {
     const Vertex v = informed_list_[i];
     const Vertex w =
@@ -63,12 +66,33 @@ void PushProcess::do_step(Rng& rng) {
                   v, rng.next_below32(static_cast<std::uint32_t>(g.degree(v))));
     if (!informed_[w]) {
       informed_[w] = 1;
-      informed_list_.push_back(w);
+      new_informed_.push_back(w);
     }
   }
+  merge_new_informed();
   transmissions_ += senders;
   peak_ = 1;
   ++round_;
+}
+
+void PushProcess::merge_new_informed() {
+  if (new_informed_.empty()) return;
+  std::sort(new_informed_.begin(), new_informed_.end());
+  // Backward in-place merge of the round's sorted new informees into the
+  // sorted sender list. All entries are distinct (the bitmap gates
+  // insertion), and both vectors are reserved to n, so this is
+  // allocation-free.
+  std::size_t ai = informed_list_.size();
+  std::size_t bi = new_informed_.size();
+  informed_list_.resize(ai + bi);
+  std::size_t oi = informed_list_.size();
+  while (bi > 0) {
+    if (ai > 0 && informed_list_[ai - 1] > new_informed_[bi - 1]) {
+      informed_list_[--oi] = informed_list_[--ai];
+    } else {
+      informed_list_[--oi] = new_informed_[--bi];
+    }
+  }
 }
 
 void PushProcess::step_faulty(Rng& rng) {
@@ -76,6 +100,7 @@ void PushProcess::step_faulty(Rng& rng) {
   const Graph& g = *graph_;
   const std::size_t senders = informed_list_.size();
   std::uint64_t sends = 0;
+  new_informed_.clear();
   for (std::size_t i = 0; i < senders; ++i) {
     const Vertex v = informed_list_[i];
     if (!fs.can_send(v)) continue;  // down: no push this round
@@ -87,9 +112,10 @@ void PushProcess::step_faulty(Rng& rng) {
     ++sends;
     if (fs.transmit(v, 0, w) && !informed_[w]) {
       informed_[w] = 1;
-      informed_list_.push_back(w);
+      new_informed_.push_back(w);
     }
   }
+  merge_new_informed();
   transmissions_ += sends;
   if (sends > 0) peak_ = 1;
   ++round_;
@@ -124,6 +150,12 @@ SpreadResult run_push(const Graph& g, Vertex start, PushOptions options,
         informed_list.push_back(w);
       }
     }
+    // Keep the sender list sorted so round r+1 iterates senders in
+    // ascending vertex order (the same canonical order PushProcess and the
+    // batched engine use).
+    std::sort(informed_list.begin() + senders, informed_list.end());
+    std::inplace_merge(informed_list.begin(), informed_list.begin() + senders,
+                       informed_list.end());
     result.total_transmissions += senders;
     result.peak_vertex_round_transmissions = 1;
     ++round;

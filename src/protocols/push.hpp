@@ -27,7 +27,9 @@ struct PushOptions {
 /// are sized once at construction and refilled on reset, so trial loops
 /// pay zero allocations after the first trial. Single-start; the RNG
 /// stream is draw-for-draw identical to the legacy run_push (senders are
-/// processed in the order they were informed).
+/// processed in ascending vertex order each round — the informed list is
+/// kept sorted, which is also what lets the batched engine's
+/// vertex-ordered bit-plane scan replay the exact same stream).
 class PushProcess final : public Process {
  public:
   /// Requires a non-empty graph; reset() validates the start.
@@ -65,12 +67,20 @@ class PushProcess final : public Process {
   /// the sends actually made.
   void step_faulty(Rng& rng);
 
+  /// Sorts the round's new informees and merges them into the (sorted)
+  /// informed list in place. Allocation-free: both vectors are reserved
+  /// to n.
+  void merge_new_informed();
+
   const Graph* graph_;
   PushOptions options_;
   /// Alias tables for weighted draws; null when unweighted.
   const GraphAliasTables* alias_ = nullptr;
   std::vector<char> informed_;
+  /// Ascending informed vertices (the next round's senders, in order).
   std::vector<Vertex> informed_list_;
+  /// Scratch: vertices first informed this round, merged at round end.
+  std::vector<Vertex> new_informed_;
   std::size_t round_ = 0;
   std::uint64_t transmissions_ = 0;
   std::uint64_t peak_ = 0;

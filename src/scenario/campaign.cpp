@@ -10,6 +10,7 @@
 
 #include "core/faults.hpp"
 #include "obs/progress.hpp"
+#include "sim/batched.hpp"
 #include "scenario/graph_cache.hpp"
 #include "scenario/sink.hpp"
 #include "sim/sweep.hpp"
@@ -114,15 +115,9 @@ JobResult execute_job(const CampaignPlan& plan, const JobSpec& job,
   }
   obs::TraceSpan trials_span(
       telemetry != nullptr ? telemetry->trace() : nullptr, "trials");
-  for (std::size_t t = 0; t < plan.trials; ++t) {
-    const bool record_rounds = t < recorded_trials;
-    process->set_observer(record_rounds ? recorder.get() : nullptr);
-    const SpreadResult trial = process->run(Rng::for_trial(job_seed, t),
-                                            starts[t % starts.size()]);
-    if (record_rounds) {
-      telemetry->rounds()->append_trial(job.index, t, recorder->samples());
-      if (t + 1 == recorded_trials) process->set_observer(nullptr);
-    }
+  // Trial t's result is consumed here regardless of which engine produced
+  // it; the streams see trials strictly in t order either way.
+  const auto consume = [&](const SpreadResult& trial) {
     if (telemetry != nullptr) {
       telemetry->metrics().add(telemetry->trials_done);
       telemetry->metrics().observe(telemetry->trial_rounds,
@@ -140,7 +135,7 @@ JobResult execute_job(const CampaignPlan& plan, const JobSpec& job,
     }
     if (!trial.completed) {
       ++result.failed;
-      continue;
+      return;
     }
     const auto rounds = static_cast<double>(trial.rounds);
     const auto tx = static_cast<double>(trial.total_transmissions);
@@ -160,6 +155,38 @@ JobResult execute_job(const CampaignPlan& plan, const JobSpec& job,
       energy_stream.add(trial.energy);
       pdr_values.push_back(pdr);
       energy_values.push_back(trial.energy);
+    }
+  };
+  const auto run_scalar = [&](std::size_t t) {
+    const bool record_rounds = t < recorded_trials;
+    process->set_observer(record_rounds ? recorder.get() : nullptr);
+    const SpreadResult trial = process->run(Rng::for_trial(job_seed, t),
+                                            starts[t % starts.size()]);
+    if (record_rounds) {
+      telemetry->rounds()->append_trial(job.index, t, recorder->samples());
+      if (t + 1 == recorded_trials) process->set_observer(nullptr);
+    }
+    consume(trial);
+  };
+  // [engine] batch >= 2: the lockstep engine runs the bulk of the trials.
+  // Observer-recorded trials stay scalar (round observers hook the scalar
+  // step path), as does any process/fault combination without a batched
+  // engine — the factory's nullptr covers both the fault layer and
+  // unsupported processes, so this degrades to exactly the loop above.
+  // Either way every per-trial SpreadResult is bitwise-identical, so the
+  // aggregates, journal, and sinks cannot tell the engines apart.
+  std::unique_ptr<BatchedEngine> engine;
+  if (plan.batch >= 2) engine = make_batched_engine(*process, plan.batch);
+  if (engine == nullptr) {
+    for (std::size_t t = 0; t < plan.trials; ++t) run_scalar(t);
+  } else {
+    for (std::size_t t = 0; t < recorded_trials; ++t) run_scalar(t);
+    std::vector<SpreadResult> block(plan.batch);
+    for (std::size_t first = recorded_trials; first < plan.trials;
+         first += plan.batch) {
+      const std::size_t count = std::min(plan.batch, plan.trials - first);
+      engine->run_block(job_seed, first, count, starts, block.data());
+      for (std::size_t i = 0; i < count; ++i) consume(block[i]);
     }
   }
   if (!rounds_values.empty()) {
@@ -191,10 +218,11 @@ CampaignPlan plan_campaign(const ScenarioSpec& spec) {
   for (const auto& section : spec.sections()) {
     if (section.name != "campaign" && section.name != "graph" &&
         section.name != "process" && section.name != "faults" &&
-        section.name != "telemetry") {
-      throw SpecError(spec.source() + ":" + std::to_string(section.line) +
-                      ": unknown section [" + section.name +
-                      "] (expected campaign/graph/process/faults/telemetry)");
+        section.name != "telemetry" && section.name != "engine") {
+      throw SpecError(
+          spec.source() + ":" + std::to_string(section.line) +
+          ": unknown section [" + section.name +
+          "] (expected campaign/graph/process/faults/telemetry/engine)");
     }
   }
   if (const SpecSection* campaign = spec.section("campaign")) {
@@ -343,6 +371,31 @@ CampaignPlan plan_campaign(const ScenarioSpec& spec) {
     }
   }
 
+  // [engine] selects how the trial loop executes. Like [telemetry] it is
+  // out of band: batching reschedules the trials but every per-trial
+  // result is bitwise-identical to the scalar path (sim/batched.hpp's
+  // seed-compatibility contract, enforced in tests/batched_test.cpp), so
+  // its keys never sweep and never enter the fingerprint.
+  if (const SpecSection* engine = spec.section("engine")) {
+    for (const auto& entry : engine->entries) {
+      const std::string where =
+          spec.source() + ":" + std::to_string(entry.line) + ": [engine] ";
+      if (entry.key == "batch") {
+        std::int64_t value = 0;
+        if (!parse_spec_int(entry.value, value) || value < 1 ||
+            value > static_cast<std::int64_t>(kMaxBatch)) {
+          throw SpecError(where + "batch expects an integer in [1, " +
+                          std::to_string(kMaxBatch) + "], got '" +
+                          entry.value + "'");
+        }
+        plan.batch = static_cast<std::size_t>(value);
+      } else {
+        throw SpecError(where + "has no key '" + entry.key +
+                        "' (expected batch)");
+      }
+    }
+  }
+
   // Sweep axes: seeds slowest, then [graph] keys in declaration order,
   // then [process] keys, then [faults] keys (last key fastest).
   std::vector<Axis> axes;
@@ -420,6 +473,9 @@ CampaignPlan plan_campaign(const ScenarioSpec& spec) {
     plan.jobs.push_back(std::move(job));
   }
 
+  // Fingerprint deliberately excludes [telemetry] and [engine]: both are
+  // out of band (observability / execution strategy), so toggling them
+  // must neither invalidate journals nor perturb results.
   std::uint64_t fp = fnv1a(plan.name);
   fp = fnv1a(std::to_string(plan.trials), fp);
   fp = fnv1a(std::to_string(plan.base_seed), fp);

@@ -55,12 +55,19 @@ struct CampaignPlan {
   std::vector<JobSpec> jobs;
   /// Hash of (name, trials, base_seed, every job); a resume against a
   /// journal written by a different plan fails loudly. Deliberately
-  /// excludes `telemetry` — observability is out of band, so toggling it
-  /// must neither invalidate journals nor perturb results.
+  /// excludes `telemetry` and `batch` — observability and the execution
+  /// engine are out of band, so toggling them must neither invalidate
+  /// journals nor perturb results.
   std::uint64_t fingerprint = 0;
   /// Parsed [telemetry] section (scenario_runner's --trace/--progress/
   /// --status/--rounds flags override it after planning).
   TelemetryConfig telemetry;
+  /// [engine] batch width for the trial loop (1 = scalar). Like telemetry
+  /// this is deliberately fingerprint-neutral: the batched engine's
+  /// per-trial results are bitwise-identical to the scalar path (the
+  /// sim/batched.hpp contract), so journals written at any batch resume
+  /// under any other and the sinks stay byte-identical.
+  std::size_t batch = 1;
 };
 
 /// Expands the spec into a plan. Throws SpecError (with line numbers where

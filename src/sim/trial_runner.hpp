@@ -93,4 +93,15 @@ std::vector<SpreadResult> run_process_trials(
     const std::function<std::unique_ptr<Process>()>& make_process,
     std::span<const Vertex> starts);
 
+/// Batched lockstep variant: trials run in blocks of `batch` lanes via
+/// the batched engine (sim/batched.hpp) when the process supports one;
+/// otherwise this is exactly run_process_trials. Per-trial results are
+/// bitwise-identical to run_process_trials for every batch and thread
+/// count — each block is a pure function of (base_seed, first trial
+/// index), and lane l of a block replays trial first+l's scalar stream.
+std::vector<SpreadResult> run_process_trials_batched(
+    const TrialOptions& options,
+    const std::function<std::unique_ptr<Process>()>& make_process,
+    std::span<const Vertex> starts, std::size_t batch);
+
 }  // namespace cobra

@@ -343,6 +343,97 @@ TEST(Campaign, KilledAndResumedOutputIsByteIdentical) {
   EXPECT_DOUBLE_EQ(final_run.all_rounds.mean(), reference.all_rounds.mean());
 }
 
+// ---- batched engine ([engine] batch) ----
+
+TEST(Campaign, BatchedEngineIsFingerprintNeutralAndByteIdentical) {
+  const auto scalar_spec = ScenarioSpec::parse_string(kTinySpec);
+  auto batched_spec = ScenarioSpec::parse_string(kTinySpec);
+  batched_spec.set("engine", "batch", "8");
+  const auto scalar_plan = plan_campaign(scalar_spec);
+  const auto batched_plan = plan_campaign(batched_spec);
+  EXPECT_EQ(scalar_plan.batch, 1u);
+  EXPECT_EQ(batched_plan.batch, 8u);
+  // The [engine] section must not perturb the fingerprint: journals
+  // written at any batch resume under any other.
+  EXPECT_EQ(scalar_plan.fingerprint, batched_plan.fingerprint);
+
+  const std::string dir = ::testing::TempDir();
+  const std::string scalar_stem = dir + "scenario_engine_scalar";
+  const std::string batched_stem = dir + "scenario_engine_batched";
+  for (const auto& stem : {scalar_stem, batched_stem}) {
+    for (const auto& ext : {".journal", ".jsonl", ".csv"}) {
+      std::remove((stem + ext).c_str());
+    }
+  }
+  CampaignOptions scalar_options;
+  scalar_options.output = scalar_stem;
+  const auto scalar_result = run_campaign(scalar_plan, scalar_options);
+  ASSERT_TRUE(scalar_result.complete);
+
+  // Kill the batched campaign mid-flight and finish the rest under the
+  // scalar engine — the journal carries over and the final sinks must be
+  // byte-for-byte what the uninterrupted scalar campaign wrote.
+  CampaignOptions stop_early;
+  stop_early.output = batched_stem;
+  stop_early.max_jobs = 1;
+  const auto first = run_campaign(batched_plan, stop_early);
+  EXPECT_FALSE(first.complete);
+  CampaignOptions finish;
+  finish.output = batched_stem;
+  const auto final_run = run_campaign(scalar_plan, finish);
+  ASSERT_TRUE(final_run.complete);
+  EXPECT_EQ(final_run.resumed, 1u);
+
+  EXPECT_EQ(read_file(scalar_stem + ".jsonl"),
+            read_file(batched_stem + ".jsonl"));
+  EXPECT_EQ(read_file(scalar_stem + ".csv"),
+            read_file(batched_stem + ".csv"));
+}
+
+TEST(Campaign, BatchedEngineFallsBackPerJob) {
+  // flood has no batched engine and the faulted axis forces the scalar
+  // path for every process — both must degrade silently and identically.
+  constexpr const char* kSweep = R"(
+[campaign]
+name = engines
+trials = 5
+base_seed = 41
+
+[graph]
+family = cycle
+n = 48
+
+[process]
+name = push, flood
+
+[faults]
+drop = 0, 0.2
+)";
+  const auto spec = ScenarioSpec::parse_string(kSweep);
+  auto scalar_plan = plan_campaign(spec);
+  auto batched_plan = scalar_plan;
+  batched_plan.batch = 4;
+  const auto a = run_campaign(scalar_plan, {});
+  const auto b = run_campaign(batched_plan, {});
+  ASSERT_TRUE(a.complete);
+  ASSERT_TRUE(b.complete);
+  for (const auto& job : scalar_plan.jobs) {
+    EXPECT_EQ(jsonl_record(scalar_plan, job, *a.jobs[job.index]),
+              jsonl_record(batched_plan, job, *b.jobs[job.index]));
+  }
+}
+
+TEST(Plan, EngineSectionValidatesBatch) {
+  for (const char* bad : {"0", "65", "-3", "x"}) {
+    auto spec = ScenarioSpec::parse_string(kTinySpec);
+    spec.set("engine", "batch", bad);
+    expect_spec_error([&] { plan_campaign(spec); }, "[engine] batch");
+  }
+  auto spec = ScenarioSpec::parse_string(kTinySpec);
+  spec.set("engine", "lanes", "8");
+  expect_spec_error([&] { plan_campaign(spec); }, "no key 'lanes'");
+}
+
 TEST(Campaign, ResumeRejectsMismatchedSpec) {
   const std::string stem = ::testing::TempDir() + "scenario_mismatch";
   for (const auto& ext : {".journal", ".jsonl", ".csv"}) {
