@@ -6,14 +6,17 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <fstream>
 #include <mutex>
 #include <ostream>
+#include <set>
 #include <thread>
 #include <vector>
 
 #include "dist/lease.hpp"
 #include "dist/protocol.hpp"
 #include "obs/progress.hpp"
+#include "scenario/registry.hpp"
 #include "scenario/sink.hpp"
 #include "util/build_info.hpp"
 #include "util/stopwatch.hpp"
@@ -51,6 +54,11 @@ struct Coordinator::Impl {
   bool stopping = false;
   std::vector<int> active_fds;  ///< live handler sockets, for broadcast
 
+  /// Graph files the plan's own [graph] file= params reference — the only
+  /// paths GRAPH_REQUEST will serve (the coordinator is not a general
+  /// file server). Immutable after construction.
+  std::set<std::string> graph_files;
+
   // ---- threads ----
   std::thread accept_thread;
   std::vector<std::thread> handlers;
@@ -62,6 +70,13 @@ struct Coordinator::Impl {
         spec_text(std::move(spec_text_in)),
         options(std::move(options_in)) {
     stem = !options.output.empty() ? options.output : plan.output;
+    for (const scenario::JobSpec& job : plan.jobs) {
+      const std::string* family = scenario::find_param(job.graph, "family");
+      const std::string* file = scenario::find_param(job.graph, "file");
+      if (family != nullptr && *family == "file" && file != nullptr) {
+        graph_files.insert(*file);
+      }
+    }
     total = plan.jobs.size();
     results.assign(total, std::nullopt);
     if (!stem.empty()) {
@@ -208,6 +223,10 @@ struct Coordinator::Impl {
           }
           break;
         }
+        case FrameType::kGraphRequest: {
+          serve_graph_range(socket, decode_graph_request(frame.payload));
+          break;
+        }
         case FrameType::kError: {
           fail("worker " + std::to_string(id) + ": " + frame.payload);
           return;
@@ -217,6 +236,47 @@ struct Coordinator::Impl {
                               frame_type_name(frame.type));
       }
     }
+  }
+
+  /// Streams one byte range of a plan-referenced graph file back to the
+  /// worker. Paths outside the plan's allow-set (and unreadable files)
+  /// terminate the connection — a correct worker only asks for what the
+  /// shipped spec names.
+  void serve_graph_range(Socket& socket, const GraphRequestMsg& request) {
+    if (graph_files.find(request.path) == graph_files.end()) {
+      const std::string reason =
+          "graph file '" + request.path + "' is not referenced by the plan";
+      socket.send_frame(FrameType::kError, reason);
+      throw ProtocolError(reason);
+    }
+    std::ifstream in(request.path, std::ios::binary);
+    if (!in) {
+      const std::string reason =
+          "cannot open graph file '" + request.path + "'";
+      socket.send_frame(FrameType::kError, reason);
+      throw ProtocolError(reason);
+    }
+    in.seekg(0, std::ios::end);
+    const auto file_size = static_cast<std::uint64_t>(in.tellg());
+    GraphDataMsg reply;
+    reply.file_size = file_size;
+    // Leave frame headroom for the codec's own fields.
+    const std::uint64_t cap = std::min<std::uint64_t>(
+        request.max_bytes, kMaxFramePayload - 64);
+    if (request.offset < file_size && cap > 0) {
+      const std::uint64_t len =
+          std::min<std::uint64_t>(cap, file_size - request.offset);
+      reply.bytes.resize(len);
+      in.seekg(static_cast<std::streamoff>(request.offset));
+      if (!in.read(reply.bytes.data(),
+                   static_cast<std::streamsize>(len))) {
+        const std::string reason =
+            "short read from graph file '" + request.path + "'";
+        socket.send_frame(FrameType::kError, reason);
+        throw ProtocolError(reason);
+      }
+    }
+    socket.send_frame(FrameType::kGraphData, encode_graph_data(reply));
   }
 
   /// Leases the next shard to the worker; filters out jobs that were

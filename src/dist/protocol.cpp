@@ -46,6 +46,8 @@ const char* frame_type_name(FrameType type) {
     case FrameType::kJobResult: return "JOB_RESULT";
     case FrameType::kShardDone: return "SHARD_DONE";
     case FrameType::kError: return "ERROR";
+    case FrameType::kGraphRequest: return "GRAPH_REQUEST";
+    case FrameType::kGraphData: return "GRAPH_DATA";
   }
   return "UNKNOWN";
 }
@@ -325,6 +327,38 @@ JobResultMsg decode_job_result(std::string_view payload) {
   msg.shard = r.u64();
   msg.job = r.u64();
   msg.payload = r.str();
+  return msg;
+}
+
+std::string encode_graph_request(const GraphRequestMsg& msg) {
+  WireWriter w;
+  w.str(msg.path);
+  w.u64(msg.offset);
+  w.u32(msg.max_bytes);
+  return w.take();
+}
+
+GraphRequestMsg decode_graph_request(std::string_view payload) {
+  WireReader r(payload);
+  GraphRequestMsg msg;
+  msg.path = r.str();
+  msg.offset = r.u64();
+  msg.max_bytes = r.u32();
+  return msg;
+}
+
+std::string encode_graph_data(const GraphDataMsg& msg) {
+  WireWriter w;
+  w.u64(msg.file_size);
+  w.str(msg.bytes);
+  return w.take();
+}
+
+GraphDataMsg decode_graph_data(std::string_view payload) {
+  WireReader r(payload);
+  GraphDataMsg msg;
+  msg.file_size = r.u64();
+  msg.bytes = r.str();
   return msg;
 }
 

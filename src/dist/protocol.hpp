@@ -24,6 +24,19 @@
 //   worker  -> SHARD_DONE   shard id — every job of the lease was streamed
 //   either  -> ERROR        fatal condition, human-readable reason
 //
+// Graph shipping (protocol v2): a worker whose plan references
+// family=file graphs it does not have locally fetches them from the
+// coordinator right after the handshake, before its lease loop:
+//   worker  -> GRAPH_REQUEST  relative path, byte offset, max bytes
+//   coord   -> GRAPH_DATA     total file size + the requested byte range
+//           |  ERROR          unknown path (only paths named by the plan's
+//                             own [graph] file= params are served — the
+//                             coordinator is not a general file server)
+// Ranges respect kMaxFramePayload, so arbitrarily large .cgr instances
+// ship in bounded frames; the worker writes them to the same relative
+// path and re-resolves it, keeping graph seeds and the plan fingerprint
+// unchanged.
+//
 // Any frame from a worker renews its lease; a closed connection or an
 // expired lease requeues the shard (see lease.hpp), and re-delivered
 // results are dropped by job index at the journal merge.
@@ -38,8 +51,9 @@
 namespace cobra::dist {
 
 /// Bumped on any incompatible change to framing or message layout; the
-/// handshake rejects a mismatch outright.
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// handshake rejects a mismatch outright. v2 added the GRAPH_REQUEST /
+/// GRAPH_DATA graph-shipping exchange.
+inline constexpr std::uint32_t kProtocolVersion = 2;
 
 /// Hard ceiling on one frame's payload — a corrupt length prefix must not
 /// become a multi-gigabyte allocation.
@@ -61,6 +75,8 @@ enum class FrameType : std::uint8_t {
   kJobResult = 7,
   kShardDone = 8,
   kError = 9,
+  kGraphRequest = 10,
+  kGraphData = 11,
 };
 
 const char* frame_type_name(FrameType type);
@@ -204,6 +220,19 @@ struct JobResultMsg {
   std::string payload;  ///< serialize_job_result() bytes
 };
 
+/// One byte range of a plan-referenced graph file. `max_bytes` caps the
+/// reply chunk (the coordinator may return less at EOF, never more).
+struct GraphRequestMsg {
+  std::string path;  ///< as written in the plan's file= param
+  std::uint64_t offset = 0;
+  std::uint32_t max_bytes = 0;
+};
+
+struct GraphDataMsg {
+  std::uint64_t file_size = 0;  ///< total bytes, so the worker can loop
+  std::string bytes;            ///< the range [offset, offset + len)
+};
+
 std::string encode_hello(const HelloMsg& msg);
 HelloMsg decode_hello(std::string_view payload);
 std::string encode_welcome(const WelcomeMsg& msg);
@@ -212,6 +241,10 @@ std::string encode_lease_grant(const LeaseGrantMsg& msg);
 LeaseGrantMsg decode_lease_grant(std::string_view payload);
 std::string encode_job_result(const JobResultMsg& msg);
 JobResultMsg decode_job_result(std::string_view payload);
+std::string encode_graph_request(const GraphRequestMsg& msg);
+GraphRequestMsg decode_graph_request(std::string_view payload);
+std::string encode_graph_data(const GraphDataMsg& msg);
+GraphDataMsg decode_graph_data(std::string_view payload);
 /// kReject / kError payloads are bare reason strings (not u32-prefixed).
 
 }  // namespace cobra::dist

@@ -1,14 +1,20 @@
 // SPDX-License-Identifier: MIT
 #include "dist/worker.hpp"
 
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <fstream>
 #include <memory>
 #include <mutex>
 #include <ostream>
+#include <set>
 #include <vector>
 
 #include "dist/protocol.hpp"
 #include "scenario/campaign.hpp"
 #include "scenario/graph_cache.hpp"
+#include "scenario/registry.hpp"
 #include "scenario/sink.hpp"
 #include "sim/thread_pool.hpp"
 #include "util/build_info.hpp"
@@ -68,6 +74,89 @@ WelcomeMsg do_handshake(WorkerState& state) {
                         std::to_string(welcome.journal_format));
   }
   return welcome;
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+/// mkdir -p for the directory components of `path` (the graph lands at
+/// the same relative path the plan names, which may be nested).
+void make_parent_dirs(const std::string& path) {
+  for (std::size_t slash = path.find('/'); slash != std::string::npos;
+       slash = path.find('/', slash + 1)) {
+    if (slash == 0) continue;  // absolute-path root
+    const std::string dir = path.substr(0, slash);
+    ::mkdir(dir.c_str(), 0755);  // EEXIST is fine
+  }
+}
+
+/// Downloads one plan-referenced graph file from the coordinator in
+/// frame-sized byte ranges, writing to `<path>.part` and renaming into
+/// place — a killed worker never leaves a plausible-looking half file.
+void fetch_graph(WorkerState& state, const std::string& path) {
+  constexpr std::uint32_t kChunk = 8u << 20;
+  make_parent_dirs(path);
+  const std::string part = path + ".part";
+  std::ofstream out(part, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw SpecError("cannot write graph file '" + part + "'");
+  }
+  std::uint64_t offset = 0;
+  std::uint64_t file_size = 0;
+  Frame frame;
+  do {
+    GraphRequestMsg request;
+    request.path = path;
+    request.offset = offset;
+    request.max_bytes = kChunk;
+    state.send(FrameType::kGraphRequest, encode_graph_request(request));
+    if (!state.socket.recv_frame(frame)) {
+      throw ProtocolError("coordinator closed during graph fetch");
+    }
+    if (frame.type == FrameType::kError) {
+      throw SpecError("coordinator error: " + frame.payload);
+    }
+    if (frame.type != FrameType::kGraphData) {
+      throw ProtocolError(std::string("expected GRAPH_DATA, got ") +
+                          frame_type_name(frame.type));
+    }
+    const GraphDataMsg data = decode_graph_data(frame.payload);
+    file_size = data.file_size;
+    if (offset < file_size && data.bytes.empty()) {
+      throw ProtocolError("empty GRAPH_DATA mid-file for '" + path + "'");
+    }
+    out.write(data.bytes.data(),
+              static_cast<std::streamsize>(data.bytes.size()));
+    if (!out) throw SpecError("cannot write graph file '" + part + "'");
+    offset += data.bytes.size();
+  } while (offset < file_size);
+  out.flush();
+  out.close();
+  if (std::rename(part.c_str(), path.c_str()) != 0) {
+    throw SpecError("cannot move '" + part + "' into place");
+  }
+  state.log_line("fetched graph '" + path + "' (" +
+                 std::to_string(file_size) + " bytes)");
+}
+
+/// Pre-fetches every family=file graph the plan references that is
+/// missing locally — right after the handshake, before the lease loop, so
+/// job execution never blocks on the wire. Paths stay exactly as written
+/// in the spec (the worker runs in its own directory), which keeps graph
+/// seeds and the plan fingerprint unchanged.
+void fetch_missing_graphs(WorkerState& state) {
+  std::set<std::string> wanted;
+  for (const JobSpec& job : state.plan.jobs) {
+    const std::string* family = scenario::find_param(job.graph, "family");
+    const std::string* file = scenario::find_param(job.graph, "file");
+    if (family != nullptr && *family == "file" && file != nullptr &&
+        !file_exists(*file)) {
+      wanted.insert(*file);
+    }
+  }
+  for (const std::string& path : wanted) fetch_graph(state, path);
 }
 
 /// Executes one leased shard, streaming a JOB_RESULT frame per job (each
@@ -152,6 +241,7 @@ WorkerResult run_worker(const WorkerOptions& options) {
     state.send(FrameType::kError, message);
     throw SpecError(message);
   }
+  fetch_missing_graphs(state);
   state.cache = std::make_unique<GraphCache>([&state](const JobSpec& job) {
     return scenario::build_campaign_graph(state.plan, job);
   });

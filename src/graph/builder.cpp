@@ -506,6 +506,12 @@ Graph assemble_dispatch(std::size_t n,
 
 }  // namespace
 
+namespace detail {
+bool sort_neighbour_list(Vertex* first, Vertex* last) {
+  return sort_neighbours(first, last);
+}
+}  // namespace detail
+
 GraphBuilder::GraphBuilder(std::size_t n) : num_vertices_(n) {}
 
 void GraphBuilder::set_default_threads(std::size_t threads) noexcept {

@@ -113,4 +113,13 @@ Graph build_simple_edges(std::size_t n,
                          std::vector<std::pair<Vertex, Vertex>> edges,
                          std::string name);
 
+namespace detail {
+/// The builder's canonical per-vertex neighbour sort (sorting networks for
+/// tiny degrees, insertion sort mid-range, std::sort above), exposed for
+/// the out-of-core shard assembler (graph/stream.cpp) so streamed CSR
+/// bytes match in-core builds exactly. Returns true if the sorted range
+/// contains a duplicate.
+bool sort_neighbour_list(Vertex* first, Vertex* last);
+}  // namespace detail
+
 }  // namespace cobra

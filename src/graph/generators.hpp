@@ -143,8 +143,9 @@ Graph kneser(std::size_t n_set, std::size_t k_subset);
 // assembly, kept as parity oracles for the parallel generators (see
 // tests/substrate_test.cpp) and as the baselines bench/micro_graphgen
 // reports speedups against. Determinism contracts:
-//  * random_regular consumes the RNG identically to random_regular_serial,
-//    so the two are bitwise-identical for any (n, r, seed);
+//  * random_regular was restructured into a keyed parallel pairing, so
+//    random_regular_serial is the distributional oracle (chi-square
+//    compared in tests), not a bitwise one;
 //  * grid/torus/hypercube are deterministic, so parallel chunking is
 //    bitwise-identical by construction;
 //  * erdos_renyi was restructured into per-chunk RNG streams (the serial

@@ -11,6 +11,7 @@
 
 #include "graph/builder.hpp"
 #include "graph/generators.hpp"
+#include "graph/stream.hpp"
 
 namespace cobra::gen {
 
@@ -73,34 +74,83 @@ std::string grid_name(const std::vector<std::size_t>& dims, bool periodic) {
 
 }  // namespace
 
-Graph grid(const std::vector<std::size_t>& dims, bool periodic) {
-  const std::size_t n = checked_grid_size(dims, periodic);
-  GraphBuilder builder(n);
-  builder.reserve(n * dims.size());
-  builder.add_edges_chunked(
-      n, [&dims, periodic](std::size_t begin, std::size_t end,
-                           std::vector<std::pair<Vertex, Vertex>>& out) {
-        out.reserve((end - begin) * dims.size());
-        std::vector<std::size_t> coord = coordinate_of(begin, dims);
-        std::vector<std::size_t> next(dims.size());
-        for (std::size_t u = begin; u < end; ++u) {
-          for (std::size_t d = 0; d < dims.size(); ++d) {
-            // Only the +1 direction: the -1 edge is added by the neighbour.
-            next = coord;
-            if (coord[d] + 1 < dims[d]) {
-              next[d] = coord[d] + 1;
-            } else if (periodic) {
-              next[d] = 0;
-            } else {
-              continue;
-            }
-            out.emplace_back(static_cast<Vertex>(u),
-                             static_cast<Vertex>(linear_index(next, dims)));
-          }
-          next_coordinate(coord, dims);
+EdgeStream grid_stream(const std::vector<std::size_t>& dims, bool periodic) {
+  EdgeStream stream;
+  stream.n = checked_grid_size(dims, periodic);
+  stream.name = grid_name(dims, periodic);
+  stream.count = stream.n;
+  stream.edges_hint = stream.n * dims.size();
+  stream.emit = [dims, periodic](std::uint64_t begin, std::uint64_t end,
+                                 std::vector<std::pair<Vertex, Vertex>>& out) {
+    out.reserve(out.size() + (end - begin) * dims.size());
+    std::vector<std::size_t> coord = coordinate_of(begin, dims);
+    std::vector<std::size_t> next(dims.size());
+    for (std::uint64_t u = begin; u < end; ++u) {
+      for (std::size_t d = 0; d < dims.size(); ++d) {
+        // Only the +1 direction: the -1 edge is added by the neighbour.
+        next = coord;
+        if (coord[d] + 1 < dims[d]) {
+          next[d] = coord[d] + 1;
+        } else if (periodic) {
+          next[d] = 0;
+        } else {
+          continue;
         }
-      });
-  return builder.build(grid_name(dims, periodic));
+        out.emplace_back(static_cast<Vertex>(u),
+                         static_cast<Vertex>(linear_index(next, dims)));
+      }
+      next_coordinate(coord, dims);
+    }
+  };
+  return stream;
+}
+
+EdgeStream torus_stream(const std::vector<std::size_t>& dims) {
+  return grid_stream(dims, /*periodic=*/true);
+}
+
+EdgeStream hypercube_stream(std::size_t d) {
+  if (d < 1 || d > 31) throw std::invalid_argument("hypercube requires 1 <= d <= 31");
+  EdgeStream stream;
+  stream.n = std::size_t{1} << d;
+  stream.name = "hypercube(d=" + std::to_string(d) + ")";
+  stream.count = stream.n;
+  stream.edges_hint = stream.n * d / 2;
+  stream.emit = [d](std::uint64_t begin, std::uint64_t end,
+                    std::vector<std::pair<Vertex, Vertex>>& out) {
+    out.reserve(out.size() + (end - begin) * d / 2);
+    for (std::uint64_t v = begin; v < end; ++v) {
+      for (std::size_t bit = 0; bit < d; ++bit) {
+        const auto w = static_cast<Vertex>(v ^ (std::uint64_t{1} << bit));
+        if (v < w) out.emplace_back(static_cast<Vertex>(v), w);
+      }
+    }
+  };
+  return stream;
+}
+
+namespace {
+
+/// Shared in-core materialization: feed a lattice stream's emitter through
+/// the builder with the stream's own chunking — the same windows the
+/// out-of-core scatter walks, which pins byte identity between the paths.
+Graph build_from_stream(const EdgeStream& stream) {
+  GraphBuilder builder(stream.n);
+  builder.reserve(stream.edges_hint);
+  builder.add_edges_chunked(
+      stream.count,
+      [&stream](std::size_t begin, std::size_t end,
+                std::vector<std::pair<Vertex, Vertex>>& out) {
+        stream.emit(begin, end, out);
+      },
+      stream.chunk_items);
+  return builder.build(stream.name);
+}
+
+}  // namespace
+
+Graph grid(const std::vector<std::size_t>& dims, bool periodic) {
+  return build_from_stream(grid_stream(dims, periodic));
 }
 
 Graph torus(const std::vector<std::size_t>& dims) {
@@ -108,22 +158,7 @@ Graph torus(const std::vector<std::size_t>& dims) {
 }
 
 Graph hypercube(std::size_t d) {
-  if (d < 1 || d > 31) throw std::invalid_argument("hypercube requires 1 <= d <= 31");
-  const std::size_t n = std::size_t{1} << d;
-  GraphBuilder builder(n);
-  builder.reserve(n * d / 2);
-  builder.add_edges_chunked(
-      n, [d](std::size_t begin, std::size_t end,
-             std::vector<std::pair<Vertex, Vertex>>& out) {
-        out.reserve((end - begin) * d / 2);
-        for (std::size_t v = begin; v < end; ++v) {
-          for (std::size_t bit = 0; bit < d; ++bit) {
-            const auto w = static_cast<Vertex>(v ^ (std::size_t{1} << bit));
-            if (v < w) out.emplace_back(static_cast<Vertex>(v), w);
-          }
-        }
-      });
-  return builder.build("hypercube(d=" + std::to_string(d) + ")");
+  return build_from_stream(hypercube_stream(d));
 }
 
 // ---- legacy serial oracles (see generators.hpp) ----

@@ -15,6 +15,7 @@
 #include "graph/analysis.hpp"
 #include "graph/builder.hpp"
 #include "graph/generators.hpp"
+#include "graph/stream.hpp"
 #include "rand/sampling.hpp"
 #include "sim/thread_pool.hpp"
 
@@ -344,50 +345,83 @@ std::pair<Vertex, Vertex> unrank_pair(std::uint64_t t) {
 
 }  // namespace
 
-Graph erdos_renyi(std::size_t n, double p, Rng& rng) {
+EdgeStream erdos_renyi_stream(std::size_t n, double p, Rng& rng) {
   if (p < 0.0 || p > 1.0) {
     throw std::invalid_argument("erdos_renyi requires p in [0,1]");
   }
-  GraphBuilder builder(n);
-  const std::string name =
+  EdgeStream stream;
+  stream.name =
       "erdos_renyi(n=" + std::to_string(n) + ",p=" + std::to_string(p) + ")";
-  if (n < 2 || p == 0.0) return builder.build(name);
-  if (p == 1.0) return complete(n);
+  stream.n = n;
+  if (n < 2 || p == 0.0) return stream;  // empty; no RNG draw (legacy order)
 
   // Geometric skipping (Batagelj-Brandes) over the linear pair-index
   // space, split into deterministic chunks: chunk c runs the skip
   // sequence over its own index subrange with its own RNG stream
   // (Rng::for_trial(master, c)), so the sample is a pure function of
-  // (seed, n, p) — independent of thread count. The chunk count depends
-  // only on n. The per-chunk streams make this a restructured sampler:
+  // (seed, n, p) — independent of thread count and of whether the stream
+  // is built in core or scattered to disk. The chunk count depends only
+  // on n. The per-chunk streams make this a restructured sampler:
   // erdos_renyi_serial keeps the legacy single-stream sequence as the
-  // distributional parity oracle.
-  const double log_q = std::log1p(-p);
+  // distributional parity oracle. p == 1 enumerates every pair (the
+  // in-core generator shortcuts to complete(n) before reaching here).
+  const double log_q = p == 1.0 ? 0.0 : std::log1p(-p);
   const auto nn = static_cast<std::uint64_t>(n);
   const std::uint64_t total_pairs = nn * (nn - 1) / 2;
   const std::uint64_t master = rng();
   const std::uint64_t chunks =
       std::min<std::uint64_t>(4096, std::max<std::uint64_t>(1, nn / 4096));
   const std::uint64_t chunk_pairs = (total_pairs + chunks - 1) / chunks;
+  stream.count = total_pairs;
+  stream.chunk_items = chunk_pairs;
+  stream.edges_hint = p == 1.0
+                          ? total_pairs
+                          : static_cast<std::uint64_t>(
+                                p * static_cast<double>(total_pairs));
+  if (p == 1.0) {
+    stream.emit = [](std::uint64_t begin, std::uint64_t end,
+                     std::vector<std::pair<Vertex, Vertex>>& out) {
+      for (std::uint64_t t = begin; t < end; ++t) {
+        out.push_back(unrank_pair(t));
+      }
+    };
+    return stream;
+  }
+  stream.emit = [master, log_q, chunk_pairs](
+                    std::uint64_t begin, std::uint64_t end,
+                    std::vector<std::pair<Vertex, Vertex>>& out) {
+    Rng chunk_rng = Rng::for_trial(master, begin / chunk_pairs);
+    std::uint64_t t = begin;
+    const std::uint64_t stop = end;
+    while (true) {
+      const double u01 = 1.0 - chunk_rng.next_double();
+      const double skip = std::floor(std::log(u01) / log_q);
+      if (skip >= static_cast<double>(stop - t)) break;
+      t += static_cast<std::uint64_t>(skip);
+      out.push_back(unrank_pair(t));
+      if (++t >= stop) break;
+    }
+  };
+  return stream;
+}
+
+Graph erdos_renyi(std::size_t n, double p, Rng& rng) {
+  if (p == 1.0 && n >= 2) return complete(n);
+  // Built *from the stream*: the in-core and out-of-core paths consume the
+  // identical chunked emitter (same master draw, same chunk boundaries),
+  // which is what pins their byte identity.
+  const EdgeStream stream = erdos_renyi_stream(n, p, rng);
+  GraphBuilder builder(n);
+  if (stream.count == 0) return builder.build(stream.name);
+  builder.reserve(stream.edges_hint);
   builder.add_edges_chunked(
-      total_pairs,
-      [master, log_q, chunk_pairs](
-          std::size_t begin, std::size_t end,
-          std::vector<std::pair<Vertex, Vertex>>& out) {
-        Rng chunk_rng = Rng::for_trial(master, begin / chunk_pairs);
-        auto t = static_cast<std::uint64_t>(begin);
-        const auto stop = static_cast<std::uint64_t>(end);
-        while (true) {
-          const double u01 = 1.0 - chunk_rng.next_double();
-          const double skip = std::floor(std::log(u01) / log_q);
-          if (skip >= static_cast<double>(stop - t)) break;
-          t += static_cast<std::uint64_t>(skip);
-          out.push_back(unrank_pair(t));
-          if (++t >= stop) break;
-        }
+      stream.count,
+      [&stream](std::size_t begin, std::size_t end,
+                std::vector<std::pair<Vertex, Vertex>>& out) {
+        stream.emit(begin, end, out);
       },
-      chunk_pairs);
-  return builder.build(name);
+      stream.chunk_items);
+  return builder.build(stream.name);
 }
 
 Graph erdos_renyi_serial(std::size_t n, double p, Rng& rng) {

@@ -24,11 +24,11 @@ struct GraphAliasCell {
 };
 
 void Graph::attach_weights(std::vector<float> weights) {
-  if (weights.size() != adjacency_.size()) {
+  if (weights.size() != adj_view_.size()) {
     throw std::invalid_argument(
         "graph '" + name_ + "': weight array has " +
         std::to_string(weights.size()) + " entries, adjacency has " +
-        std::to_string(adjacency_.size()));
+        std::to_string(adj_view_.size()));
   }
   for (std::size_t i = 0; i < weights.size(); ++i) {
     if (!std::isfinite(weights[i]) || !(weights[i] > 0.0f)) {
@@ -38,6 +38,7 @@ void Graph::attach_weights(std::vector<float> weights) {
     }
   }
   weights_ = std::move(weights);
+  w_view_ = weights_;
   alias_cell_ =
       weights_.empty() ? nullptr : std::make_shared<GraphAliasCell>();
 }
@@ -49,8 +50,8 @@ const GraphAliasTables& Graph::alias_tables() const {
   }
   std::call_once(alias_cell_->once, [this] {
     GraphAliasTables& tables = alias_cell_->tables;
-    tables.prob_.resize(weights_.size());
-    tables.alias_.resize(weights_.size());
+    tables.prob_.resize(w_view_.size());
+    tables.alias_.resize(w_view_.size());
     // Per-vertex rows are independent, so the build parallelizes over
     // fixed vertex chunks like the rest of the substrate (honouring the
     // same GraphBuilder::set_default_threads knob); the table contents
@@ -67,10 +68,9 @@ const GraphAliasTables& Graph::alias_tables() const {
         const std::size_t begin = offset(v);
         const std::size_t end = offset(v + 1);
         if (begin == end) continue;
-        build_alias_row(
-            std::span<const float>(weights_.data() + begin, end - begin),
-            tables.prob_.data() + begin, tables.alias_.data() + begin,
-            scratch);
+        build_alias_row(w_view_.subspan(begin, end - begin),
+                        tables.prob_.data() + begin,
+                        tables.alias_.data() + begin, scratch);
       }
     };
     const std::size_t configured = GraphBuilder::default_threads();
@@ -79,7 +79,7 @@ const GraphAliasTables& Graph::alias_tables() const {
             ? configured
             : std::max<std::size_t>(1, std::thread::hardware_concurrency());
     if (chunks > 1 && threads > 1 &&
-        weights_.size() >= kParallelEndpointThreshold) {
+        w_view_.size() >= kParallelEndpointThreshold) {
       ThreadPool pool(threads - 1);
       // One scratch per worker slot would need stateful dispatch; a
       // thread_local keeps the reuse without bookkeeping.
@@ -96,13 +96,21 @@ const GraphAliasTables& Graph::alias_tables() const {
 }
 
 Graph Graph::strip_weights() const {
-  // Member-wise copy that never touches weights_ or the alias cell — a
+  // Member-wise copy that never touches the weights or the alias cell — a
   // full copy-then-clear would transiently duplicate the 8m-byte weight
-  // array just to throw it away.
+  // array just to throw it away. Borrowed offset/adjacency views (mapped
+  // graphs) are carried over together with the backing handle; only an
+  // *owned* weight array is left behind.
   Graph stripped;
   stripped.offsets32_ = offsets32_;
   stripped.offsets64_ = offsets64_;
   stripped.adjacency_ = adjacency_;
+  stripped.off32_view_ = off32_view_;
+  stripped.off64_view_ = off64_view_;
+  stripped.adj_view_ = adj_view_;
+  stripped.backing_ = backing_;
+  stripped.rebind_after_copy(*this);
+  stripped.w_view_ = {};
   stripped.name_ = name_;
   stripped.num_vertices_ = num_vertices_;
   stripped.min_degree_ = min_degree_;
@@ -125,6 +133,7 @@ Graph::Graph(std::vector<std::size_t> offsets, std::vector<Vertex> adjacency,
     offsets32_.assign(offsets.begin(), offsets.end());
     if (offsets32_.empty()) offsets32_.push_back(0);
   }
+  bind_owned();
   finish_stats();
 }
 
@@ -136,6 +145,7 @@ Graph::Graph(std::vector<std::uint32_t> offsets, std::vector<Vertex> adjacency,
       num_vertices_(offsets32_.empty() ? 0 : offsets32_.size() - 1),
       wide_(false) {
   if (offsets32_.empty()) offsets32_.push_back(0);
+  bind_owned();
   finish_stats();
 }
 
@@ -147,6 +157,7 @@ Graph::Graph(std::vector<std::uint32_t> offsets, std::vector<Vertex> adjacency,
       num_vertices_(offsets32_.empty() ? 0 : offsets32_.size() - 1),
       wide_(false) {
   if (offsets32_.empty()) offsets32_.push_back(0);
+  bind_owned();
   set_stats(min_degree, max_degree);
 }
 
@@ -159,7 +170,65 @@ Graph::Graph(std::vector<std::uint64_t> offsets, std::vector<Vertex> adjacency,
       wide_(true) {
   offsets32_.clear();
   if (offsets64_.empty()) offsets64_.push_back(0);
+  bind_owned();
   set_stats(min_degree, max_degree);
+}
+
+Graph::Graph(std::span<const std::uint32_t> offsets,
+             std::span<const Vertex> adjacency, std::span<const float> weights,
+             std::shared_ptr<const void> backing, std::string name)
+    : off32_view_(offsets),
+      adj_view_(adjacency),
+      w_view_(weights),
+      backing_(std::move(backing)),
+      name_(std::move(name)),
+      num_vertices_(offsets.empty() ? 0 : offsets.size() - 1),
+      wide_(false) {
+  offsets32_.clear();
+  alias_cell_ = w_view_.empty() ? nullptr : std::make_shared<GraphAliasCell>();
+  finish_stats();
+}
+
+Graph::Graph(std::span<const std::uint64_t> offsets,
+             std::span<const Vertex> adjacency, std::span<const float> weights,
+             std::shared_ptr<const void> backing, std::string name)
+    : off64_view_(offsets),
+      adj_view_(adjacency),
+      w_view_(weights),
+      backing_(std::move(backing)),
+      name_(std::move(name)),
+      num_vertices_(offsets.empty() ? 0 : offsets.size() - 1),
+      wide_(true) {
+  offsets32_.clear();
+  alias_cell_ = w_view_.empty() ? nullptr : std::make_shared<GraphAliasCell>();
+  finish_stats();
+}
+
+Graph::Graph(const Graph& other)
+    : offsets32_(other.offsets32_),
+      offsets64_(other.offsets64_),
+      adjacency_(other.adjacency_),
+      weights_(other.weights_),
+      alias_cell_(other.alias_cell_),
+      off32_view_(other.off32_view_),
+      off64_view_(other.off64_view_),
+      adj_view_(other.adj_view_),
+      w_view_(other.w_view_),
+      backing_(other.backing_),
+      name_(other.name_),
+      num_vertices_(other.num_vertices_),
+      min_degree_(other.min_degree_),
+      max_degree_(other.max_degree_),
+      regularity_(other.regularity_),
+      wide_(other.wide_) {
+  rebind_after_copy(other);
+}
+
+Graph& Graph::operator=(const Graph& other) {
+  if (this == &other) return *this;
+  Graph copy(other);
+  *this = std::move(copy);
+  return *this;
 }
 
 Graph::Graph(const Graph& other, std::string name) : Graph(other) {

@@ -95,7 +95,7 @@ constexpr bool csr_offsets_fit_32bit(std::uint64_t endpoints) noexcept {
 class Graph {
  public:
   /// Empty graph (0 vertices). Mostly useful as a placeholder target.
-  Graph() = default;
+  Graph() { bind_owned(); }
 
   /// Constructs from CSR arrays. offsets.size() == n+1,
   /// adjacency.size() == offsets[n] == 2m, neighbour lists sorted.
@@ -119,17 +119,39 @@ class Graph {
   Graph(std::vector<std::uint64_t> offsets, std::vector<Vertex> adjacency,
         std::string name, std::size_t min_degree, std::size_t max_degree);
 
+  /// Borrowed-storage constructors (zero-copy .cgr loading): the spans
+  /// view memory owned by `backing` — typically an mmap'd file image —
+  /// which the graph keeps alive through its shared handle. Inputs are
+  /// trusted like the other CSR constructors (map_cgr validates the full
+  /// invariant set over the mapping before calling); `weights` may be
+  /// empty. offsets.size() must be n+1 >= 1.
+  Graph(std::span<const std::uint32_t> offsets,
+        std::span<const Vertex> adjacency, std::span<const float> weights,
+        std::shared_ptr<const void> backing, std::string name);
+  Graph(std::span<const std::uint64_t> offsets,
+        std::span<const Vertex> adjacency, std::span<const float> weights,
+        std::shared_ptr<const void> backing, std::string name);
+
   /// Copy of `other` carrying a different display name (metadata only).
   Graph(const Graph& other, std::string name);
+
+  // Value semantics with view fixup: a copied graph's spans must point at
+  // its *own* vectors (or at the shared mapping), never at the source's.
+  // Moves steal the vector buffers, so the views stay valid as-is.
+  Graph(const Graph& other);
+  Graph& operator=(const Graph& other);
+  Graph(Graph&& other) noexcept = default;
+  Graph& operator=(Graph&& other) noexcept = default;
+  ~Graph() = default;
 
   std::size_t num_vertices() const noexcept { return num_vertices_; }
 
   /// Number of undirected edges m (adjacency stores 2m endpoints).
-  std::size_t num_edges() const noexcept { return adjacency_.size() / 2; }
+  std::size_t num_edges() const noexcept { return adj_view_.size() / 2; }
 
   /// CSR offset of v's neighbour block (v in [0, n]).
   std::size_t offset(Vertex v) const noexcept {
-    return wide_ ? offsets64_[v] : offsets32_[v];
+    return wide_ ? off64_view_[v] : off32_view_[v];
   }
 
   std::size_t degree(Vertex v) const noexcept {
@@ -139,13 +161,13 @@ class Graph {
   /// Sorted neighbour list of v.
   std::span<const Vertex> neighbors(Vertex v) const noexcept {
     const std::size_t begin = offset(v);
-    return {adjacency_.data() + begin, offset(v + 1) - begin};
+    return {adj_view_.data() + begin, offset(v + 1) - begin};
   }
 
   /// The i-th neighbour of v (0 <= i < degree(v)); the process engines'
   /// "choose a uniform neighbour" is neighbor(v, rng.next_below(degree)).
   Vertex neighbor(Vertex v, std::size_t i) const noexcept {
-    return adjacency_[offset(v) + i];
+    return adj_view_[offset(v) + i];
   }
 
   /// True if {u, v} is an edge. O(log degree) binary search.
@@ -173,38 +195,71 @@ class Graph {
   bool offsets_are_wide() const noexcept { return wide_; }
 
   std::span<const std::uint32_t> offsets32() const noexcept {
-    return offsets32_;
+    return off32_view_;
   }
   std::span<const std::uint64_t> offsets64() const noexcept {
-    return offsets64_;
+    return off64_view_;
   }
 
-  std::span<const Vertex> adjacency() const noexcept { return adjacency_; }
+  std::span<const Vertex> adjacency() const noexcept { return adj_view_; }
 
   /// Bytes per stored offset entry (4 or 8).
   std::size_t offset_bytes() const noexcept { return wide_ ? 8 : 4; }
 
-  /// Resident bytes of the CSR arrays (offsets + adjacency + weights when
-  /// present); the number a campaign's peak-memory estimate predicts.
+  /// Logical bytes of the CSR arrays (offsets + adjacency + weights when
+  /// present), whether they live in owned vectors or a mapping. For an
+  /// owned graph this equals resident_bytes(); campaigns that want honest
+  /// per-job RAM numbers split it as resident_bytes() + mapped_bytes().
   std::size_t memory_bytes() const noexcept {
     return (num_vertices_ + 1) * offset_bytes() +
-           adjacency_.size() * sizeof(Vertex) +
-           weights_.size() * sizeof(float);
+           adj_view_.size() * sizeof(Vertex) + w_view_.size() * sizeof(float);
+  }
+
+  // ---- borrowed (mapped) vs owned storage ----
+
+  /// True when the CSR arrays are views over an externally owned mapping
+  /// (zero-copy map_cgr load) rather than owned vectors.
+  bool is_mapped() const noexcept { return backing_ != nullptr; }
+
+  /// Bytes of CSR arrays held in this graph's own vectors — what this
+  /// instance actually allocates. A mapped graph contributes ~0 here (its
+  /// arrays are kernel-backed file pages) unless weights were re-attached
+  /// as an owned array later.
+  std::size_t resident_bytes() const noexcept {
+    std::size_t bytes = 0;
+    if (off32_view_.data() == offsets32_.data()) {
+      bytes += off32_view_.size() * sizeof(std::uint32_t);
+    }
+    if (off64_view_.data() == offsets64_.data()) {
+      bytes += off64_view_.size() * sizeof(std::uint64_t);
+    }
+    if (adj_view_.data() == adjacency_.data()) {
+      bytes += adj_view_.size() * sizeof(Vertex);
+    }
+    if (!w_view_.empty() && w_view_.data() == weights_.data()) {
+      bytes += w_view_.size() * sizeof(float);
+    }
+    return bytes;
+  }
+
+  /// Bytes of CSR arrays viewed through the shared mapping (0 when owned).
+  std::size_t mapped_bytes() const noexcept {
+    return memory_bytes() - resident_bytes();
   }
 
   // ---- edge weights (optional; empty vector when unweighted) ----
 
   /// True when a CSR-aligned weight array is attached (8m bytes; an edgeless
   /// graph is never weighted).
-  bool is_weighted() const noexcept { return !weights_.empty(); }
+  bool is_weighted() const noexcept { return !w_view_.empty(); }
 
   /// CSR-aligned weights: weights()[offset(v)+i] is the weight of the edge
   /// {v, neighbor(v,i)}. Empty for unweighted graphs.
-  std::span<const float> weights() const noexcept { return weights_; }
+  std::span<const float> weights() const noexcept { return w_view_; }
 
   /// Weight of v's i-th edge (0 <= i < degree(v)); requires is_weighted().
   float weight(Vertex v, std::size_t i) const noexcept {
-    return weights_[offset(v) + i];
+    return w_view_[offset(v) + i];
   }
 
   /// Attaches a CSR-aligned weight array (size 2m, every entry positive
@@ -229,6 +284,32 @@ class Graph {
  private:
   void finish_stats();
   void set_stats(std::size_t min_degree, std::size_t max_degree);
+  /// Points every view at the graph's own vectors (the owned-storage
+  /// default); borrowed constructors override the views afterwards.
+  void bind_owned() noexcept {
+    off32_view_ = offsets32_;
+    off64_view_ = offsets64_;
+    adj_view_ = adjacency_;
+    w_view_ = weights_;
+  }
+  /// Copy-construction view fixup: a view that aliased the *source's* own
+  /// vector must re-point at the corresponding copied vector; a view into
+  /// the shared mapping is carried over verbatim (the backing handle was
+  /// copied too).
+  void rebind_after_copy(const Graph& other) noexcept {
+    if (other.off32_view_.data() == other.offsets32_.data()) {
+      off32_view_ = offsets32_;
+    }
+    if (other.off64_view_.data() == other.offsets64_.data()) {
+      off64_view_ = offsets64_;
+    }
+    if (other.adj_view_.data() == other.adjacency_.data()) {
+      adj_view_ = adjacency_;
+    }
+    if (other.w_view_.data() == other.weights_.data()) {
+      w_view_ = weights_;
+    }
+  }
 
   // Width-adaptive offsets: offsets32_ holds the n+1 entries when
   // 2m < 2^32 (wide_ == false), offsets64_ otherwise. The inactive vector
@@ -238,6 +319,18 @@ class Graph {
   std::vector<Vertex> adjacency_;
   /// CSR-aligned edge weights; empty (zero overhead) when unweighted.
   std::vector<float> weights_;
+  // The arrays every accessor actually reads: views over the owned
+  // vectors above (the common case, kept in sync by bind_owned) or over
+  // an external read-only mapping held alive by backing_. This is what
+  // makes zero-copy .cgr loading free for every consumer — engines,
+  // spectral kernels, and IO all read through the same spans either way.
+  std::span<const std::uint32_t> off32_view_;
+  std::span<const std::uint64_t> off64_view_;
+  std::span<const Vertex> adj_view_;
+  std::span<const float> w_view_;
+  /// Keeps the mapped file image alive for borrowed views; null when all
+  /// storage is owned.
+  std::shared_ptr<const void> backing_;
   /// Lazily-built alias tables, in a heap cell so the std::once_flag
   /// survives Graph's value semantics: copies share the cell (same
   /// immutable weights -> same tables), and attach_weights installs a

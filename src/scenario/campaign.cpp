@@ -610,7 +610,11 @@ CampaignResult run_campaign(const CampaignPlan& plan,
           std::lock_guard lock(mutex);
           journal->note("graph " + GraphCache::key_for(job) + " name=" +
                         graph->name() + " build_seconds=" +
-                        format_double(acquired.built_seconds));
+                        format_double(acquired.built_seconds) +
+                        (graph->is_mapped()
+                             ? " mapped_bytes=" +
+                                   std::to_string(graph->mapped_bytes())
+                             : ""));
         }
       }
       Stopwatch job_watch;

@@ -1,6 +1,7 @@
 // SPDX-License-Identifier: MIT
 #include "scenario/graph_cache.hpp"
 
+#include <chrono>
 #include <utility>
 
 #include "scenario/registry.hpp"
@@ -68,6 +69,30 @@ void GraphCache::release(const JobSpec& job) {
     uses_.erase(it);
     cache_.erase(key);
   }
+}
+
+GraphCache::Usage GraphCache::usage() {
+  Usage usage;
+  std::lock_guard lock(mutex_);
+  for (const auto& [key, future] : cache_) {
+    // Only instances whose build already finished: a single-flight future
+    // still in flight would block this accounting call.
+    if (future.wait_for(std::chrono::seconds(0)) !=
+        std::future_status::ready) {
+      continue;
+    }
+    std::shared_ptr<const Graph> graph;
+    try {
+      graph = future.get();
+    } catch (...) {
+      continue;  // failed build — the key is being cleared by its leader
+    }
+    if (graph == nullptr) continue;
+    usage.resident_bytes += graph->resident_bytes();
+    usage.mapped_bytes += graph->mapped_bytes();
+    ++usage.graphs;
+  }
+  return usage;
 }
 
 }  // namespace cobra::scenario

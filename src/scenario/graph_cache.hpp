@@ -67,6 +67,18 @@ class GraphCache {
     return builds_.load(std::memory_order_relaxed);
   }
 
+  /// Storage footprint of the currently cached instances, split by where
+  /// the bytes live: `resident` counts owned arrays competing for RAM,
+  /// `mapped` counts file-backed views (mmap-loaded .cgr graphs). The
+  /// campaign/dist runners report these so an out-of-core sweep can prove
+  /// its working set stayed borrowed.
+  struct Usage {
+    std::uint64_t resident_bytes = 0;
+    std::uint64_t mapped_bytes = 0;
+    std::size_t graphs = 0;
+  };
+  Usage usage();
+
  private:
   using Future = std::shared_future<std::shared_ptr<const Graph>>;
 

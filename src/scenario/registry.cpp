@@ -56,16 +56,24 @@ Graph file_graph(ParamReader& p, Rng&) {
   EdgeListOptions options;
   options.require_header = p.get_int("require_header", 0) != 0;
   options.dedup = p.get_int("dedup", 1) != 0;
+  // mmap = 1 loads a .cgr zero-copy: the job's CSR arrays are read-only
+  // views over the file mapping (Graph::is_mapped()), so huge instances
+  // run without materializing the graph in RAM. Only meaningful for .cgr
+  // files — edge lists always parse into owned storage.
+  const bool use_mmap = p.get_int("mmap", 0) != 0;
   // Binary CSR instances load directly (campaigns reuse one generated
   // .cgr across runs instead of re-parsing or regenerating); detection is
   // by extension or magic so an edge list named foo.cgr still errors
   // loudly inside read_cgr rather than being misparsed.
   if (std::string_view(path).ends_with(".cgr") || is_cgr_file(path)) {
     try {
-      return read_cgr(path);
+      return use_mmap ? map_cgr(path) : read_cgr(path);
     } catch (const std::invalid_argument& e) {
       throw SpecError("graph family 'file': " + std::string(e.what()));
     }
+  }
+  if (use_mmap) {
+    throw SpecError("graph family 'file': mmap = 1 requires a .cgr file");
   }
   std::ifstream in(path);
   if (!in) {
@@ -194,7 +202,7 @@ const GraphFamily kGraphFamilies[] = {
                             static_cast<double>(n > 0 ? n - 1 : 0);
        return {n, static_cast<std::uint64_t>(2.0 * prob * pairs)};
      }},
-    {"file", {"file", "require_header", "dedup"}, file_graph},
+    {"file", {"file", "require_header", "dedup", "mmap"}, file_graph},
     {"generalized_petersen",
      {"n", "k"},
      [](ParamReader& p, Rng&) {
@@ -434,6 +442,38 @@ GraphMemoryEstimate estimate_graph_memory(const ParamMap& params) {
   GraphMemoryEstimate out;
   const std::string* family_name = find_param(params, "family");
   if (family_name == nullptr) return out;
+  // family=file on a .cgr: the header gives *exact* sizes, and mmap = 1
+  // marks the file-backed portion so --dry-run can report mapped vs
+  // resident bytes separately.
+  if (*family_name == "file") {
+    const std::string* path = find_param(params, "file");
+    if (path == nullptr || !is_cgr_file(*path)) return out;
+    CgrInfo info;
+    try {
+      info = read_cgr_info(*path);
+    } catch (const std::invalid_argument&) {
+      return out;  // corrupt file — surfaces when the job actually runs
+    }
+    out.known = true;
+    out.n = info.n;
+    out.endpoints = info.endpoints;
+    out.offset_bytes = info.wide ? 8 : 4;
+    out.csr_bytes = (info.n + 1) * out.offset_bytes + info.endpoints * 4;
+    const std::string* weight = find_param(params, "weight");
+    const bool synth =
+        weight != nullptr && (*weight == "uniform" || *weight == "exp");
+    if (synth || info.weighted) {
+      out.weight_bytes = info.endpoints * sizeof(float);
+    }
+    const std::string* mmap_param = find_param(params, "mmap");
+    if (mmap_param != nullptr && *mmap_param != "0") {
+      // Synthesized weights replace the file's and live in owned storage,
+      // so only file-carried weights stay mapped.
+      out.mapped_bytes =
+          out.csr_bytes + (info.weighted && !synth ? out.weight_bytes : 0);
+    }
+    return out;
+  }
   const GraphFamily* family = find_family(*family_name);
   if (family == nullptr || family->estimate == nullptr) return out;
   SizeEstimate size;

@@ -64,9 +64,10 @@ Graph build_graph(const ParamMap& params, Rng& rng);
 /// scenario_runner --dry-run prints per job so an overnight campaign can
 /// be sanity-checked against available RAM before launch. For random
 /// families the edge count is the expectation; margulis reports its
-/// template upper bound. known=false for family=file (size unknowable
-/// without reading the file) and for malformed parameter values (the
-/// actual run reports those as errors).
+/// template upper bound. family=file is known when the file is a .cgr
+/// (the header is read — exact sizes); known=false for edge-list files
+/// (size unknowable without parsing) and for malformed parameter values
+/// (the actual run reports those as errors).
 struct GraphMemoryEstimate {
   bool known = false;
   std::uint64_t n = 0;          ///< vertex count
@@ -74,12 +75,20 @@ struct GraphMemoryEstimate {
   std::size_t offset_bytes = 0; ///< 4 or 8 — the width-adaptive selection
   std::uint64_t csr_bytes = 0;  ///< (n+1)*offset_bytes + endpoints*4
   /// Weight array bytes (endpoints*4 = 8m) when the job requests
-  /// weight = uniform|exp; 0 for unweighted jobs. Alias tables add
-  /// endpoints*8 more when a process sets weighted=1 — scenario_runner
-  /// --dry-run folds that in per job from the process params.
+  /// weight = uniform|exp, or loads a weighted file it keeps; 0 for
+  /// unweighted jobs. Alias tables add endpoints*8 more when a process
+  /// sets weighted=1 — scenario_runner --dry-run folds that in per job
+  /// from the process params.
   std::uint64_t weight_bytes = 0;
+  /// Portion of total_bytes() that is file-backed rather than resident:
+  /// family=file with mmap=1 on a .cgr keeps the CSR (and any file-carried
+  /// weights) as views over the mapping, so only total - mapped competes
+  /// for RAM up front. Synthesized weights over a mapped graph are still
+  /// owned, so they stay out of this number. 0 for in-core jobs.
+  std::uint64_t mapped_bytes = 0;
 
   std::uint64_t total_bytes() const { return csr_bytes + weight_bytes; }
+  std::uint64_t resident_bytes() const { return total_bytes() - mapped_bytes; }
 };
 GraphMemoryEstimate estimate_graph_memory(const ParamMap& params);
 

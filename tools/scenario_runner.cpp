@@ -344,11 +344,17 @@ int main(int argc, char** argv) {
           std::printf(" faults{%s}", canonical_params(job.faults).c_str());
         }
         if (est.known) {
-          const std::uint64_t total = est.total_bytes() + alias_bytes +
+          // Mapped (file-backed) bytes don't compete for RAM the way owned
+          // arrays do — report them separately and rank the peak by the
+          // resident portion.
+          const std::uint64_t total = est.resident_bytes() + alias_bytes +
                                       fault_bytes + telemetry_bytes +
                                       batched_bytes;
-          std::printf(" mem~%s (n=%llu, 2m=%llu, offsets=%zu-bit",
-                      human_bytes(total).c_str(),
+          std::printf(" mem~%s resident", human_bytes(total).c_str());
+          if (est.mapped_bytes > 0) {
+            std::printf(" + %s mapped", human_bytes(est.mapped_bytes).c_str());
+          }
+          std::printf(" (n=%llu, 2m=%llu, offsets=%zu-bit",
                       static_cast<unsigned long long>(est.n),
                       static_cast<unsigned long long>(est.endpoints),
                       est.offset_bytes * 8);
